@@ -1,0 +1,48 @@
+// Command incshrink-bench regenerates the paper's evaluation tables and
+// figures (Table 2 and Figures 4-9 of Section 7).
+//
+// Usage:
+//
+//	incshrink-bench -exp table2 -steps 400
+//	incshrink-bench -exp all -steps 1825 -seed 2022
+//
+// The -steps flag sets the simulated horizon in time steps; 1825 matches the
+// paper's five-year TPC-ds span but any laptop-scale value preserves the
+// shapes. Output is a plain-text table per experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"incshrink/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment to run: all, "+strings.Join(experiments.Names(), ", "))
+		steps = flag.Int("steps", 400, "simulation horizon in time steps (paper: 1825)")
+		seed  = flag.Int64("seed", 2022, "random seed for workloads and protocols")
+	)
+	flag.Parse()
+
+	p := experiments.Params{Steps: *steps, Seed: *seed}
+	start := time.Now()
+	var err error
+	if *exp == "all" {
+		err = experiments.RunAll(p, os.Stdout)
+	} else if runner, ok := experiments.Registry[*exp]; ok {
+		err = runner(p, os.Stdout)
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: all, %s\n", *exp, strings.Join(experiments.Names(), ", "))
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))
+}

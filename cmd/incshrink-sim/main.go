@@ -1,0 +1,109 @@
+// Command incshrink-sim runs a single IncShrink deployment over a synthetic
+// workload and reports per-interval progress plus final metrics — useful for
+// exploring a single configuration interactively rather than sweeping.
+//
+// Usage:
+//
+//	incshrink-sim -workload tpcds -engine DP-Timer -steps 400 -eps 1.5
+//	incshrink-sim -workload cpdb -engine DP-ANT -steps 600 -report 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"incshrink/internal/core"
+	"incshrink/internal/sim"
+	"incshrink/internal/workload"
+)
+
+func main() {
+	var (
+		wlName  = flag.String("workload", "tpcds", "workload: tpcds or cpdb (optionally -sparse/-burst)")
+		engine  = flag.String("engine", "DP-Timer", "engine: DP-Timer, DP-ANT, OTM, EP, NM")
+		steps   = flag.Int("steps", 400, "horizon in time steps")
+		seed    = flag.Int64("seed", 2022, "random seed")
+		eps     = flag.Float64("eps", 1.5, "privacy parameter epsilon")
+		omega   = flag.Int("omega", 0, "truncation bound (0 = dataset default)")
+		budget  = flag.Int("b", 0, "contribution budget (0 = dataset default)")
+		updateT = flag.Int("T", 0, "sDPTimer interval (0 = dataset default)")
+		theta   = flag.Float64("theta", 30, "sDPANT threshold")
+		report  = flag.Int("report", 100, "progress line every n steps")
+	)
+	flag.Parse()
+
+	wl, err := pickWorkload(*wlName, *steps, *seed)
+	if err != nil {
+		fail(err)
+	}
+	tr, err := workload.Generate(wl)
+	if err != nil {
+		fail(err)
+	}
+	cfg := core.DefaultConfig(wl, *seed)
+	cfg.Epsilon = *eps
+	cfg.Theta = *theta
+	if *omega > 0 {
+		cfg.Omega = *omega
+	}
+	if *budget > 0 {
+		cfg.Budget = *budget
+	}
+	if *updateT > 0 {
+		cfg.T = *updateT
+	}
+	cfg.PruneTo = core.PruneBound(cfg, wl)
+
+	e, err := sim.Build(sim.EngineKind(*engine), cfg, wl)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("workload=%s engine=%s steps=%d eps=%g omega=%d b=%d T=%d theta=%g\n",
+		wl.Name, e.Name(), *steps, *eps, cfg.Omega, cfg.Budget, cfg.T, cfg.Theta)
+	truth := 0
+	for _, st := range tr.Steps {
+		e.Step(st)
+		truth += st.NewPairs
+		if *report > 0 && (st.T+1)%*report == 0 {
+			res, qet := e.Query()
+			fmt.Printf("t=%4d  truth=%6d  view-answer=%6d  |err|=%5.0f  QET=%.6fs\n",
+				st.T, truth, res, math.Abs(float64(truth-res)), qet)
+		}
+	}
+	m := e.Metrics()
+	fmt.Printf("\nfinal metrics:\n")
+	fmt.Printf("  view: %d real / %d slots (%d bytes), %d updates, %d real tuples recycled\n",
+		m.ViewReal, m.ViewLen, m.ViewBytes, m.Updates, m.LostReal)
+	fmt.Printf("  cache: %d slots now, peak %d\n", m.CacheLen, m.CacheMax)
+	fmt.Printf("  avg transform %.4fs (%d invocations), avg shrink %.4fs, avg QET %.6fs\n",
+		m.AvgTransformSecs(), m.Transforms, m.AvgShrinkSecs(), m.AvgQuerySecs())
+	fmt.Printf("  total simulated MPC time %.2fs, total query time %.4fs\n",
+		m.TotalMPCSecs, m.QuerySecs)
+}
+
+func pickWorkload(name string, steps int, seed int64) (workload.Config, error) {
+	switch name {
+	case "tpcds":
+		return workload.TPCDS(steps, seed), nil
+	case "tpcds-sparse":
+		return workload.Sparse(workload.TPCDS(steps, seed)), nil
+	case "tpcds-burst":
+		return workload.Burst(workload.TPCDS(steps, seed)), nil
+	case "cpdb":
+		return workload.CPDB(steps, seed), nil
+	case "cpdb-sparse":
+		return workload.Sparse(workload.CPDB(steps, seed)), nil
+	case "cpdb-burst":
+		return workload.Burst(workload.CPDB(steps, seed)), nil
+	default:
+		return workload.Config{}, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,29 @@
+package incshrink_test
+
+import (
+	"fmt"
+
+	"incshrink"
+)
+
+// ExampleOpen demonstrates the minimal lifecycle: open a database over a
+// temporal-join view, advance it with both owners' records, and answer the
+// standing count query from the DP-maintained materialized view.
+func ExampleOpen() {
+	db, err := incshrink.Open(
+		incshrink.ViewDef{Within: 3},
+		incshrink.Options{Epsilon: 5, T: 2, MaxLeft: 4, MaxRight: 4, Seed: 42},
+	)
+	if err != nil {
+		panic(err)
+	}
+	// Day 0: order 1 placed. Day 1: order 2 placed, order 1 delivered.
+	_ = db.Advance([]incshrink.Row{{1, 0}}, nil)
+	_ = db.Advance([]incshrink.Row{{2, 1}}, []incshrink.Row{{1, 1}})
+	_ = db.Advance(nil, []incshrink.Row{{2, 2}})
+	_ = db.Advance(nil, nil) // idle day; the timer still fires on schedule
+
+	n, _ := db.Count()
+	fmt.Println("on-time deliveries:", n)
+	// Output: on-time deliveries: 2
+}

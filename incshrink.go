@@ -1,0 +1,310 @@
+// Package incshrink is a Go implementation of IncShrink (Wang, Bater, Nayak,
+// Machanavajjhala — SIGMOD 2022): a secure outsourced growing database that
+// maintains a materialized view with incremental MPC while guaranteeing that
+// the update-pattern leakage observed by the (simulated) untrusted servers
+// satisfies differential privacy.
+//
+// The public API models the paper's deployment: two growing streams (for
+// example sales and returns, or allegations and a public award feed) whose
+// temporal equi-join is materialized as a view; a standing count query is
+// answered from the view alone. Advance the database one time step at a
+// time with the records each owner received; query whenever you like:
+//
+//	db, err := incshrink.Open(incshrink.ViewDef{Within: 10},
+//	    incshrink.Options{Epsilon: 1.5})
+//	...
+//	for each day {
+//	    db.Advance(salesRows, returnRows)
+//	    n, qet, _ := db.Count()
+//	}
+//
+// The heavy lifting — the Transform and Shrink MPC protocols, truncated
+// oblivious joins, contribution budgets, secure cache, joint DP noise — is
+// in the internal packages; see DESIGN.md for the map.
+package incshrink
+
+import (
+	"fmt"
+
+	"incshrink/internal/core"
+	"incshrink/internal/oblivious"
+	"incshrink/internal/query"
+	"incshrink/internal/table"
+	"incshrink/internal/workload"
+)
+
+// Row is one relational tuple: {join key, event time, extra attributes...}.
+// Only the first two attributes participate in the view definition.
+type Row = []int64
+
+// Protocol selects the Shrink synchronization strategy.
+type Protocol int
+
+// The two DP view-update protocols of the paper.
+const (
+	// SDPTimer updates the view every T time steps (Algorithm 2).
+	SDPTimer Protocol = iota
+	// SDPANT updates the view when the (noisy) number of pending entries
+	// crosses a (noisy) threshold (Algorithm 3).
+	SDPANT
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	if p == SDPANT {
+		return "sDPANT"
+	}
+	return "sDPTimer"
+}
+
+// ViewDef declares the materialized view: the temporal equi-join of the left
+// and right streams on their first attribute, keeping pairs whose right
+// event happened within Within steps after the left event.
+type ViewDef struct {
+	// Within is the temporal window of the join predicate, in time steps.
+	Within int64
+	// Omega is the truncation bound: each record generates at most Omega
+	// view entries per Transform invocation. Default 1.
+	Omega int
+	// Budget is the total contribution budget b per record; once consumed,
+	// the record is retired from view generation. Default 10*Omega.
+	Budget int
+	// RightPublic marks the right stream as public data (no padding, no
+	// contribution budget), like the paper's CPDB Award relation.
+	RightPublic bool
+}
+
+// Options tunes the deployment.
+type Options struct {
+	// Epsilon is the DP parameter for the update-pattern leakage.
+	// Default 1.5 (the paper's default).
+	Epsilon float64
+	// Protocol selects sDPTimer (default) or sDPANT.
+	Protocol Protocol
+	// T is the sDPTimer interval in steps (default 10).
+	T int
+	// Theta is the sDPANT threshold (default 30).
+	Theta float64
+	// UploadEvery is the owners' upload period in steps (default 1).
+	UploadEvery int
+	// MaxLeft and MaxRight are the fixed upload block sizes; uploads are
+	// padded to (and must not exceed) these. Defaults 32 and 32.
+	MaxLeft, MaxRight int
+	// Seed drives all protocol randomness (default 1).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = 1.5
+	}
+	if o.T == 0 {
+		o.T = 10
+	}
+	if o.Theta == 0 {
+		o.Theta = 30
+	}
+	if o.UploadEvery == 0 {
+		o.UploadEvery = 1
+	}
+	if o.MaxLeft == 0 {
+		o.MaxLeft = 32
+	}
+	if o.MaxRight == 0 {
+		o.MaxRight = 32
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (v ViewDef) withDefaults() ViewDef {
+	if v.Omega == 0 {
+		v.Omega = 1
+	}
+	if v.Budget == 0 {
+		v.Budget = 10 * v.Omega
+	}
+	return v
+}
+
+// DB is a secure outsourced growing database with one materialized view.
+type DB struct {
+	fw     *core.Framework
+	def    ViewDef
+	opts   Options
+	now    int
+	nextID int64
+}
+
+// Open creates a database for the given view definition.
+func Open(def ViewDef, opts Options) (*DB, error) {
+	def = def.withDefaults()
+	opts = opts.withDefaults()
+	if def.Within < 0 {
+		return nil, fmt.Errorf("incshrink: Within must be non-negative, got %d", def.Within)
+	}
+	wl := workload.Config{
+		Name:            "api",
+		Steps:           1 << 30, // open-ended horizon
+		UploadEvery:     opts.UploadEvery,
+		PairRate:        0,
+		MaxMultiplicity: def.Omega,
+		Within:          def.Within,
+		MaxLeft:         opts.MaxLeft,
+		MaxRight:        opts.MaxRight,
+		RightPublic:     def.RightPublic,
+		Seed:            opts.Seed,
+	}
+	cfg := core.DefaultConfig(wl, opts.Seed)
+	cfg.Epsilon = opts.Epsilon
+	cfg.Omega = def.Omega
+	cfg.Budget = def.Budget
+	cfg.T = opts.T
+	cfg.Theta = opts.Theta
+	cfg.PruneTo = core.PruneBound(cfg, wl)
+	cfg.SpillPerUpdate = core.SpillBound(cfg, wl)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var fw *core.Framework
+	var err error
+	if opts.Protocol == SDPANT {
+		fw, err = core.NewANTEngine(cfg, wl)
+	} else {
+		fw, err = core.NewTimerEngine(cfg, wl)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &DB{fw: fw, def: def, opts: opts, nextID: 1}, nil
+}
+
+// Now returns the current logical time step.
+func (db *DB) Now() int { return db.now }
+
+// Advance moves the database one time step forward, ingesting the records
+// each owner received this step. Uploads on the owners' schedule must fit
+// the configured block sizes.
+func (db *DB) Advance(left, right []Row) error {
+	if len(left) > db.opts.MaxLeft {
+		return fmt.Errorf("incshrink: left upload %d exceeds block size %d", len(left), db.opts.MaxLeft)
+	}
+	if !db.def.RightPublic && len(right) > db.opts.MaxRight {
+		return fmt.Errorf("incshrink: right upload %d exceeds block size %d", len(right), db.opts.MaxRight)
+	}
+	st := workload.Step{T: db.now}
+	var err error
+	st.Left, err = db.records(left)
+	if err != nil {
+		return err
+	}
+	st.Right, err = db.records(right)
+	if err != nil {
+		return err
+	}
+	db.fw.Step(st)
+	db.now++
+	return nil
+}
+
+func (db *DB) records(rows []Row) ([]oblivious.Record, error) {
+	out := make([]oblivious.Record, 0, len(rows))
+	for _, r := range rows {
+		if len(r) < 2 {
+			return nil, fmt.Errorf("incshrink: row needs at least {key, time}, got %d attributes", len(r))
+		}
+		out = append(out, oblivious.Record{ID: db.nextID, Row: table.Row(r)})
+		db.nextID++
+	}
+	return out, nil
+}
+
+// Count answers the standing view count query from the materialized view,
+// returning the answer and the simulated secure query execution time in
+// seconds.
+func (db *DB) Count() (n int, qetSeconds float64) {
+	return db.fw.Query()
+}
+
+// Cmp is a comparison operator for CountWhere conditions.
+type Cmp int
+
+// The supported comparison operators.
+const (
+	Eq Cmp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// Where is one filter condition over the view's columns. The materialized
+// view exposes four columns: "left.key", "left.time", "right.key",
+// "right.time". When Minus is non-empty the left operand is Col - Minus
+// (the paper's Q1 shape "right.time - left.time <= 10").
+type Where struct {
+	Col   string
+	Minus string
+	Cmp   Cmp
+	Val   int64
+}
+
+// viewSchema is the public column layout of API views.
+var viewSchema = table.MustSchema("view", "left.key", "left.time", "right.key", "right.time")
+
+// CountWhere answers a filtered count over the materialized view: the
+// logical query "COUNT(*) over the view definition's join WHERE <conds>" is
+// rewritten onto the view and executed with one oblivious scan. It returns
+// an error when a condition references a column the view does not carry.
+func (db *DB) CountWhere(conds ...Where) (n int, qetSeconds float64, err error) {
+	q := query.Count{}
+	for _, w := range conds {
+		q.Conds = append(q.Conds, query.Cond{Col: w.Col, DiffCol: w.Minus, Op: query.Op(w.Cmp), Val: w.Val})
+	}
+	compiled, err := query.Rewrite(q, viewSchema)
+	if err != nil {
+		return 0, 0, err
+	}
+	n, qet := db.fw.QueryWhere(compiled.Predicate())
+	return n, qet, nil
+}
+
+// Stats is a snapshot of the database's state and cost counters.
+type Stats struct {
+	// Step is the current logical time.
+	Step int
+	// ViewEntries and ViewSlots are the real tuples and total (padded)
+	// slots in the materialized view.
+	ViewEntries, ViewSlots int
+	// ViewBytes is the view's storage footprint.
+	ViewBytes int64
+	// CacheSlots is the current secure cache length.
+	CacheSlots int
+	// Updates counts view synchronizations so far.
+	Updates int
+	// TransformSeconds, ShrinkSeconds, QuerySeconds are cumulative
+	// simulated MPC costs.
+	TransformSeconds, ShrinkSeconds, QuerySeconds float64
+	// Epsilon is the DP guarantee on the update-pattern leakage.
+	Epsilon float64
+}
+
+// Stats returns the current snapshot.
+func (db *DB) Stats() Stats {
+	m := db.fw.Metrics()
+	return Stats{
+		Step:             db.now,
+		ViewEntries:      m.ViewReal,
+		ViewSlots:        m.ViewLen,
+		ViewBytes:        m.ViewBytes,
+		CacheSlots:       m.CacheLen,
+		Updates:          m.Updates,
+		TransformSeconds: m.TransformSecs,
+		ShrinkSeconds:    m.ShrinkSecs,
+		QuerySeconds:     m.QuerySecs,
+		Epsilon:          db.opts.Epsilon,
+	}
+}

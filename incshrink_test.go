@@ -1,0 +1,188 @@
+package incshrink
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOpenDefaults(t *testing.T) {
+	db, err := Open(ViewDef{Within: 10}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Now() != 0 {
+		t.Error("fresh DB not at t=0")
+	}
+	st := db.Stats()
+	if st.Epsilon != 1.5 {
+		t.Errorf("default epsilon %v", st.Epsilon)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(ViewDef{Within: -1}, Options{}); err == nil {
+		t.Error("negative window accepted")
+	}
+	if _, err := Open(ViewDef{Within: 5}, Options{Epsilon: -2}); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+}
+
+func TestAdvanceAndCount(t *testing.T) {
+	db, err := Open(ViewDef{Within: 10}, Options{Seed: 7, T: 5, MaxLeft: 8, MaxRight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	truth := 0
+	key := int64(1)
+	for day := 0; day < 120; day++ {
+		var left, right []Row
+		// Two sales a day; ~70% get a matching return within the window.
+		for i := 0; i < 2; i++ {
+			left = append(left, Row{key, int64(day)})
+			if rng.Float64() < 0.7 {
+				lag := int64(rng.Intn(10))
+				right = append(right, Row{key, int64(day) + lag})
+				// The pair becomes true once the return's own day arrives;
+				// for this test we feed returns on their event day below,
+				// so count it when emitted. We emit immediately with a
+				// forward-dated timestamp, which the view's predicate
+				// accepts, so count now.
+				truth++
+			}
+			key++
+		}
+		if err := db.Advance(left, right); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, qet, stats := finalState(t, db)
+	if qet <= 0 {
+		t.Error("QET should be positive")
+	}
+	if got == 0 {
+		t.Fatal("count never grew")
+	}
+	diff := truth - got
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.5*float64(truth) {
+		t.Errorf("count %d too far from truth %d", got, truth)
+	}
+	if stats.Updates == 0 {
+		t.Error("no view updates")
+	}
+	if stats.ViewEntries == 0 || stats.ViewSlots < stats.ViewEntries {
+		t.Errorf("view stats inconsistent: %+v", stats)
+	}
+	if stats.Step != 120 {
+		t.Errorf("step = %d", stats.Step)
+	}
+}
+
+func finalState(t *testing.T, db *DB) (int, float64, Stats) {
+	t.Helper()
+	n, qet := db.Count()
+	return n, qet, db.Stats()
+}
+
+func TestAdvanceBlockSizeEnforced(t *testing.T) {
+	db, err := Open(ViewDef{Within: 5}, Options{MaxLeft: 2, MaxRight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := []Row{{1, 0}, {2, 0}, {3, 0}}
+	if err := db.Advance(big, nil); err == nil {
+		t.Error("oversized left upload accepted")
+	}
+	if err := db.Advance(nil, big); err == nil {
+		t.Error("oversized right upload accepted")
+	}
+}
+
+func TestPublicRightUnbounded(t *testing.T) {
+	db, err := Open(ViewDef{Within: 5, RightPublic: true}, Options{MaxLeft: 4, MaxRight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := []Row{{1, 0}, {2, 0}, {3, 0}}
+	if err := db.Advance(nil, big); err != nil {
+		t.Errorf("public right should not be size-capped: %v", err)
+	}
+}
+
+func TestRowValidation(t *testing.T) {
+	db, _ := Open(ViewDef{Within: 5}, Options{})
+	if err := db.Advance([]Row{{1}}, nil); err == nil {
+		t.Error("one-attribute row accepted")
+	}
+}
+
+func TestANTProtocol(t *testing.T) {
+	db, err := Open(ViewDef{Within: 10}, Options{Protocol: SDPANT, Theta: 10, Seed: 3, MaxLeft: 8, MaxRight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := int64(1)
+	for day := 0; day < 100; day++ {
+		left := []Row{{key, int64(day)}}
+		right := []Row{{key, int64(day)}}
+		key++
+		if err := db.Advance(left, right); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Stats().Updates == 0 {
+		t.Error("ANT never synchronized")
+	}
+	n, _ := db.Count()
+	if n == 0 {
+		t.Error("view empty after 100 matching days")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if SDPTimer.String() != "sDPTimer" || SDPANT.String() != "sDPANT" {
+		t.Error("protocol names wrong")
+	}
+}
+
+func TestCountWhere(t *testing.T) {
+	db, err := Open(ViewDef{Within: 10}, Options{Seed: 5, T: 3, MaxLeft: 8, MaxRight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys 1..60, one matched pair per day; half the pairs have lag <= 2.
+	for day := 0; day < 60; day++ {
+		key := int64(day + 1)
+		lag := int64(day % 4) // 0,1,2,3 cycling
+		if err := db.Advance([]Row{{key, int64(day)}}, []Row{{key, int64(day) + lag}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, _, err := db.CountWhere()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, _, err := db.CountWhere(Where{Col: "right.time", Minus: "left.time", Cmp: Le, Val: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all == 0 {
+		t.Fatal("unconditional count empty")
+	}
+	if fast >= all {
+		t.Errorf("filtered count %d not below total %d", fast, all)
+	}
+	// Lags cycle 0..3 uniformly, so lag<=1 is about half of all pairs.
+	ratio := float64(fast) / float64(all)
+	if ratio < 0.3 || ratio > 0.7 {
+		t.Errorf("filtered/total ratio %v, want about 0.5", ratio)
+	}
+	// Unknown column errors.
+	if _, _, err := db.CountWhere(Where{Col: "price", Cmp: Gt, Val: 0}); err == nil {
+		t.Error("unknown column accepted")
+	}
+}

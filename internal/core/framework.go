@@ -1,0 +1,526 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"incshrink/internal/mpc"
+	"incshrink/internal/oblivious"
+	"incshrink/internal/securearray"
+	"incshrink/internal/table"
+	"incshrink/internal/workload"
+)
+
+// Config carries the IncShrink deployment parameters of Section 7.
+type Config struct {
+	// Epsilon is the per-update-stream privacy budget (default 1.5).
+	Epsilon float64
+	// Omega is the truncation bound of trans_truncate (Eq. 3).
+	Omega int
+	// Budget is the total contribution budget b per outsourced record.
+	Budget int
+	// T is the sDPTimer update interval in time steps.
+	T int
+	// Theta is the sDPANT synchronization threshold.
+	Theta float64
+	// FlushEvery and FlushSize parameterize the independent cache flush
+	// (defaults 2000 and 15). FlushEvery = 0 disables flushing.
+	FlushEvery, FlushSize int
+	// PruneTo, when positive, prunes the cache to this public length after
+	// every view update, recycling the (w.h.p. dummy) tail. It is the
+	// Theorem-4-sized incremental variant of the cache flush; set to 0 to
+	// run the paper's literal protocol (cache grows until the flush).
+	PruneTo int
+	// SpillPerUpdate additionally moves this many slots from the head of
+	// the sorted cache into the view at every update (beyond the DP-sized
+	// fetch). Because real tuples sort first, the spill drains deferred
+	// data, keeping the deferred-data walk bounded at any horizon at the
+	// cost of at most SpillPerUpdate dummy view slots per update.
+	SpillPerUpdate int
+	// RawDelta disables the tight compaction of the Transform output: the
+	// cache receives the raw exhaustively padded join array. This is what
+	// the EP baseline does and what makes it slow.
+	RawDelta bool
+	// Cost is the MPC cost model.
+	Cost mpc.CostModel
+	// Seed drives all protocol randomness.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's default setting for a workload: eps=1.5,
+// f=2000, s=15, theta=30, T = floor(30 / mean entries per step), and the
+// dataset-specific omega and b of Section 7 (omega=1,b=10 for multiplicity-1
+// workloads; omega=10,b=20 otherwise).
+func DefaultConfig(wl workload.Config, seed int64) Config {
+	cfg := Config{
+		Epsilon:    1.5,
+		FlushEvery: 2000,
+		FlushSize:  15,
+		Theta:      30,
+		Cost:       mpc.DefaultCostModel(),
+		Seed:       seed,
+	}
+	if wl.MaxMultiplicity <= 1 {
+		cfg.Omega, cfg.Budget = 1, 10
+	} else {
+		cfg.Omega, cfg.Budget = 10, 20
+	}
+	if wl.PairRate > 0 {
+		cfg.T = int(math.Floor(cfg.Theta / wl.PairRate))
+	}
+	if cfg.T < 1 {
+		cfg.T = 1
+	}
+	// Incremental Theorem-4 pruning keeps the cache near its deferred-data
+	// bound (see DESIGN.md): bound at the flush horizon plus two batches.
+	cfg.PruneTo = PruneBound(cfg, wl)
+	cfg.SpillPerUpdate = SpillBound(cfg, wl)
+	return cfg
+}
+
+// SpillBound sizes the per-update deferred-data spill: a small constant
+// drain proportional to the data rate (about a quarter of one update
+// interval's expected new entries) and *independent of epsilon*, so the
+// deferred-data level — and with it the privacy-accuracy trade-off of
+// Figure 5 — still scales with the noise while no longer growing with the
+// horizon.
+func SpillBound(cfg Config, wl workload.Config) int {
+	if wl.PairRate > 0 {
+		T := cfg.T
+		if T < 1 {
+			T = 1
+		}
+		return int(math.Ceil(wl.PairRate*float64(T)/4)) + 1
+	}
+	if cfg.Omega > 2 {
+		return cfg.Omega
+	}
+	return 2
+}
+
+// PruneBound computes the public cache length the incremental prune keeps:
+// the Theorem-4 deferred-data bound for the configured epsilon/budget plus
+// two padded batches of headroom.
+func PruneBound(cfg Config, wl workload.Config) int {
+	// Deferred-data bound (Theorem 4) over a short horizon of updates plus
+	// two padded batches of headroom: beyond this length the sorted cache
+	// tail is dummy with high probability.
+	const k = 8
+	alpha := 2 * float64(cfg.Budget) / cfg.Epsilon * math.Sqrt(float64(k)*math.Log(20))
+	batch := cfg.Omega * (wl.MaxLeft + wl.MaxRight)
+	if wl.RightDrivesPairs {
+		batch = cfg.Omega * wl.MaxRight
+	}
+	return int(alpha) + batch
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case !(c.Epsilon > 0):
+		return fmt.Errorf("core: Epsilon must be positive, got %v", c.Epsilon)
+	case c.Omega < 1:
+		return fmt.Errorf("core: Omega must be at least 1, got %d", c.Omega)
+	case c.Budget != 0 && c.Budget < c.Omega:
+		return fmt.Errorf("core: Budget %d below Omega %d would retire records before first use", c.Budget, c.Omega)
+	case c.FlushEvery < 0 || c.FlushSize < 0:
+		return fmt.Errorf("core: flush parameters must be non-negative")
+	}
+	return nil
+}
+
+// Engine is the interface the simulation driver runs: one call per time
+// step with the owners' uploads, plus a standing count query over the view
+// definition.
+type Engine interface {
+	// Step ingests one time step of the workload.
+	Step(st workload.Step)
+	// Query answers the standing view-definition count query, returning the
+	// answer and the simulated query execution time in seconds.
+	Query() (result int, qetSeconds float64)
+	// Metrics exposes the engine's accumulated measurements.
+	Metrics() Metrics
+	// Name identifies the engine for reports (DP-Timer, DP-ANT, EP, ...).
+	Name() string
+}
+
+// Metrics aggregates an engine's instrumentation.
+type Metrics struct {
+	ViewLen       int
+	ViewReal      int
+	ViewBytes     int64
+	CacheLen      int
+	CacheReal     int
+	CacheMax      int
+	Updates       int
+	Transforms    int
+	LostReal      int
+	Created       int
+	TransformSecs float64 // cumulative simulated seconds
+	ShrinkSecs    float64
+	QuerySecs     float64
+	Queries       int
+	TotalMPCSecs  float64
+}
+
+// AvgTransformSecs returns the mean Transform invocation time.
+func (m Metrics) AvgTransformSecs() float64 { return safeDiv(m.TransformSecs, float64(m.Transforms)) }
+
+// AvgShrinkSecs returns the mean Shrink execution time per view update.
+func (m Metrics) AvgShrinkSecs() float64 { return safeDiv(m.ShrinkSecs, float64(m.Updates)) }
+
+// AvgQuerySecs returns the mean query execution time (QET).
+func (m Metrics) AvgQuerySecs() float64 { return safeDiv(m.QuerySecs, float64(m.Queries)) }
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Framework is the IncShrink engine: Transform + a Shrink protocol over the
+// two-server MPC runtime.
+type Framework struct {
+	cfg Config
+	wl  workload.Config
+	rt  *mpc.Runtime
+
+	cache *securearray.Cache
+	view  *securearray.View
+
+	leftBudget  *BudgetTracker
+	rightBudget *BudgetTracker
+	activeLeft  []oblivious.Record
+	activeRight []oblivious.Record
+	leftSince   map[int64]int // record id -> arrival step, for window aging
+	rightSince  map[int64]int
+
+	shrink       Shrinker
+	match        oblivious.MatchFunc
+	pendingRight []oblivious.Record // public arrivals awaiting the next upload
+	overflow     []oblivious.Entry  // real entries beyond the delta cap, carried forward
+	dummyID      int64              // descending generator for padding-record keys
+
+	// Public input caps: the active windows are padded to these sizes so the
+	// Transform input — and therefore its cost and its padded output — is
+	// data-independent.
+	activeLeftCap, activeRightCap int
+
+	created    int
+	lostReal   int
+	transforms int
+	queries    int
+	querySecs  float64
+	now        int
+}
+
+// tupleBits is the secret payload width of a view entry (two stream rows).
+const tupleBits = 64 * workload.JoinArity
+
+// New builds an IncShrink engine for a workload with the given Shrink
+// protocol.
+func New(cfg Config, wl workload.Config, shrink Shrinker) (*Framework, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := wl.Validate(); err != nil {
+		return nil, err
+	}
+	if shrink == nil {
+		return nil, fmt.Errorf("core: nil Shrink protocol")
+	}
+	rt := mpc.NewRuntime(cfg.Cost, cfg.Seed)
+	f := &Framework{
+		cfg:         cfg,
+		wl:          wl,
+		rt:          rt,
+		cache:       securearray.New(tupleBits, rt.Meter),
+		view:        securearray.NewView(),
+		leftBudget:  NewBudgetTracker(cfg.Budget),
+		rightBudget: NewBudgetTracker(rightBudgetFor(cfg, wl)),
+		leftSince:   make(map[int64]int),
+		rightSince:  make(map[int64]int),
+		shrink:      shrink,
+		match:       wl.Match(),
+		dummyID:     -2, // -1 is reserved for dummy entries
+	}
+	inv := invocationsPerRecord(cfg, wl)
+	f.activeLeftCap = (inv - 1) * wl.MaxLeft
+	if !wl.RightPublic {
+		f.activeRightCap = (inv - 1) * wl.MaxRight
+	}
+	// Alg. 1 line 1-2: initialize the shared cardinality counter to zero.
+	rt.ShareToServers(counterKey, 0)
+	shrink.Init(f)
+	return f, nil
+}
+
+// invocationsPerRecord is the public number of Transform invocations any
+// record participates in: limited by its contribution budget (b/omega uses)
+// and by the temporal join window (a record older than Within steps can no
+// longer form new pairs).
+func invocationsPerRecord(cfg Config, wl workload.Config) int {
+	byWindow := int(wl.Within)/wl.UploadEvery + 1
+	if cfg.Budget <= 0 {
+		return byWindow
+	}
+	byBudget := cfg.Budget / cfg.Omega
+	if byBudget < 1 {
+		byBudget = 1
+	}
+	if byBudget < byWindow {
+		return byBudget
+	}
+	return byWindow
+}
+
+// deltaCap is the public bound on new view entries per Transform invocation:
+// every new pair involves at least one newly uploaded record, and each
+// record contributes at most omega entries per invocation, so
+// omega * (new left + new right) bounds the batch — or omega * new right
+// alone when the workload declares that pairs are right-driven (the
+// overflow carry catches the rare exceptions). A zero cap disables tight
+// compaction (the EP baseline caches the raw padded output).
+func (f *Framework) deltaCap(nLeft, nRight int) int {
+	if f.cfg.RawDelta {
+		return 0
+	}
+	if f.wl.RightDrivesPairs {
+		return f.cfg.Omega * nRight
+	}
+	return f.cfg.Omega * (nLeft + nRight)
+}
+
+func rightBudgetFor(cfg Config, wl workload.Config) int {
+	if wl.RightPublic {
+		return 0 // public relation: unlimited
+	}
+	return cfg.Budget
+}
+
+const counterKey = "c"
+
+// Name implements Engine.
+func (f *Framework) Name() string { return "DP-" + f.shrink.Name() }
+
+// Runtime exposes the MPC runtime (transcripts and meter) for experiments
+// and leakage tests.
+func (f *Framework) Runtime() *mpc.Runtime { return f.rt }
+
+// View exposes the materialized view (read-only use).
+func (f *Framework) View() *securearray.View { return f.view }
+
+// Cache exposes the secure cache (read-only use).
+func (f *Framework) Cache() *securearray.Cache { return f.cache }
+
+// Config returns the engine configuration.
+func (f *Framework) Config() Config { return f.cfg }
+
+// Step implements Engine: run Transform on the step's uploads, then let the
+// Shrink protocol act, then the independent cache flush.
+func (f *Framework) Step(st workload.Step) {
+	f.now = st.T
+	f.rt.SetTime(st.T)
+
+	// Public-relation arrivals accumulate between uploads; Transform runs
+	// only when owners submit data ("whenever owners submit new data, the
+	// servers invoke Transform"), so each record is charged omega once per
+	// upload period and its budget window spans the temporal join window.
+	f.pendingRight = append(f.pendingRight, st.Right...)
+	if f.uploadDue(st.T) {
+		f.transform(st.Left, f.pendingRight)
+		f.pendingRight = nil
+	}
+
+	f.shrink.Tick(f, st.T)
+
+	if f.cfg.FlushEvery > 0 && st.T > 0 && st.T%f.cfg.FlushEvery == 0 {
+		fetched, lost := f.cache.Flush(f.cfg.FlushSize)
+		f.view.Update(fetched)
+		f.lostReal += lost
+		f.rt.ObserveFlush(len(fetched), "flush")
+	}
+}
+
+// uploadDue reports whether the owners' schedule ships a (possibly empty,
+// fully padded) block this step — Transform runs on schedule even when no
+// real data arrived, hiding the distinction.
+func (f *Framework) uploadDue(t int) bool {
+	return (t+1)%f.wl.UploadEvery == 0
+}
+
+// transform is the Transform protocol of Algorithm 1 for one upload.
+func (f *Framework) transform(newLeft, newRight []oblivious.Record) {
+	f.transforms++
+	t := f.now
+
+	// Register fresh records with their contribution budget and arrival
+	// time; pad the uploads to the public block sizes so the input size is
+	// data-independent.
+	for _, r := range newLeft {
+		f.leftBudget.Register(r.ID)
+		f.leftSince[r.ID] = t
+	}
+	for _, r := range newRight {
+		f.rightBudget.Register(r.ID)
+		f.rightSince[r.ID] = t
+	}
+	// Uploads are padded to the public block sizes; public relations need no
+	// padding (their content is not secret).
+	newLeft = f.padUpload(newLeft, f.wl.MaxLeft)
+	if !f.wl.RightPublic {
+		newRight = f.padUpload(newRight, f.wl.MaxRight)
+	}
+
+	newIDs := make(map[int64]bool, len(newLeft)+len(newRight))
+	for _, r := range newLeft {
+		newIDs[r.ID] = true
+	}
+	for _, r := range newRight {
+		newIDs[r.ID] = true
+	}
+
+	// The full input is the new upload plus the active windows, each padded
+	// to its public cap so the input size (and thus the protocol's cost and
+	// output size) is data-independent.
+	inLeft := append(append([]oblivious.Record{}, newLeft...), f.padActive(f.activeLeft, f.activeLeftCap)...)
+	inRight := append(append([]oblivious.Record{}, newRight...), f.padActive(f.activeRight, f.activeRightCap)...)
+
+	// The join condition is the view definition's temporal predicate, plus
+	// "at least one side is new" so pairs already produced by an earlier
+	// invocation are not regenerated (applied inside truncatedJoin; both
+	// checks compile to constant-size circuits over the secret payloads).
+	joined := f.truncatedJoin(inLeft, inRight, newIDs)
+
+	// Tighten the exhaustively padded join output to the public
+	// maximum-new-entries bound before caching. Entries beyond the cap (rare
+	// late-shipped pairs) carry over to the next invocation's batch.
+	delta := joined
+	if cap := f.deltaCap(len(newLeft), len(newRight)); cap > 0 {
+		joined = append(append([]oblivious.Entry{}, f.overflow...), joined...)
+		delta, f.overflow = oblivious.TightCompact(joined, cap, f.rt.Meter, mpc.OpTransform, tupleBits)
+	}
+
+	// Alg. 1 lines 4-6: update and re-share the cardinality counter.
+	newReal := oblivious.CountReal(delta)
+	c, err := f.rt.RecoverInside(counterKey)
+	if err != nil {
+		panic("core: counter share lost: " + err.Error())
+	}
+	f.rt.ShareToServers(counterKey, c+uint32(newReal))
+	f.created += newReal
+
+	// Alg. 1 line 7: append the exhaustively padded output to the cache.
+	f.cache.Append(delta)
+	f.rt.ObserveBatch(len(delta), "transform")
+
+	// Charge contribution budgets: every private input record is consumed
+	// omega for this invocation, then the active sets are rebuilt from the
+	// still-alive, still-in-window records.
+	f.activeLeft = f.retainAlive(inLeft, f.leftBudget, f.leftSince, t)
+	f.activeRight = f.retainAlive(inRight, f.rightBudget, f.rightSince, t)
+}
+
+// truncatedJoin runs the omega-truncated oblivious sort-merge join over the
+// inputs, keeping only pairs involving at least one new record (pairs
+// between two previously seen records were emitted by an earlier
+// invocation).
+func (f *Framework) truncatedJoin(inLeft, inRight []oblivious.Record, newIDs map[int64]bool) []oblivious.Entry {
+	match := func(l, r oblivious.Record) bool {
+		if !newIDs[l.ID] && !newIDs[r.ID] {
+			return false
+		}
+		return f.match(l, r)
+	}
+	return oblivious.TruncatedSortMergeJoin(inLeft, inRight,
+		workload.ColKey, workload.ColKey, match, f.cfg.Omega, f.rt.Meter, mpc.OpTransform)
+}
+
+// padActive pads an active window to its public cap with dummy records.
+// Windows larger than the cap cannot occur (the cap is the exact product of
+// block size and surviving invocations), but clamp defensively.
+func (f *Framework) padActive(rs []oblivious.Record, cap int) []oblivious.Record {
+	if cap == 0 {
+		return rs // public relation: no padding
+	}
+	if len(rs) >= cap {
+		return rs[:cap]
+	}
+	return f.padUpload(rs, cap)
+}
+
+// padUpload fills an upload to the fixed block size with dummy records that
+// carry fresh never-matching keys.
+func (f *Framework) padUpload(rs []oblivious.Record, size int) []oblivious.Record {
+	if len(rs) >= size {
+		return rs
+	}
+	out := make([]oblivious.Record, 0, size)
+	out = append(out, rs...)
+	for len(out) < size {
+		out = append(out, oblivious.Record{ID: f.dummyID, Row: table.Row{f.dummyID, int64(f.now)}})
+		f.dummyID--
+	}
+	return out
+}
+
+// retainAlive consumes omega budget from each input record and keeps those
+// that survive and can still form new pairs (within the temporal window).
+func (f *Framework) retainAlive(in []oblivious.Record, bt *BudgetTracker, since map[int64]int, t int) []oblivious.Record {
+	var out []oblivious.Record
+	for _, r := range in {
+		if r.ID < 0 {
+			continue // upload padding never persists
+		}
+		alive := bt.Consume(r.ID, f.cfg.Omega)
+		arrived, ok := since[r.ID]
+		inWindow := ok && int64(t-arrived) <= f.wl.Within
+		if alive && inWindow {
+			out = append(out, r)
+		} else {
+			delete(since, r.ID)
+		}
+	}
+	return out
+}
+
+// Query implements Engine: one oblivious scan over the materialized view,
+// counting real entries (the view definition already encodes the temporal
+// predicate, so the standing query counts every real view tuple).
+func (f *Framework) Query() (int, float64) {
+	return f.QueryWhere(func(table.Row) bool { return true })
+}
+
+// QueryWhere answers an arbitrary predicate-count over the materialized
+// view with one oblivious scan — the execution target of rewritten queries
+// (internal/query). View rows have the layout {left..., right...}.
+func (f *Framework) QueryWhere(pred table.Predicate) (int, float64) {
+	before := f.rt.Meter.Seconds(mpc.OpQuery)
+	res := oblivious.Count(f.view.Entries(), pred, f.rt.Meter, mpc.OpQuery)
+	qet := f.rt.Meter.Seconds(mpc.OpQuery) - before
+	f.queries++
+	f.querySecs += qet
+	return res, qet
+}
+
+// Metrics implements Engine.
+func (f *Framework) Metrics() Metrics {
+	return Metrics{
+		ViewLen:       f.view.Len(),
+		ViewReal:      f.view.Real(),
+		ViewBytes:     f.view.SizeBytes(tupleBits),
+		CacheLen:      f.cache.Len(),
+		CacheReal:     f.cache.Real(),
+		CacheMax:      f.cache.MaxLen(),
+		Updates:       f.view.Updates(),
+		Transforms:    f.transforms,
+		LostReal:      f.lostReal,
+		Created:       f.created,
+		TransformSecs: f.rt.Meter.Seconds(mpc.OpTransform),
+		ShrinkSecs:    f.rt.Meter.Seconds(mpc.OpShrink),
+		QuerySecs:     f.querySecs,
+		Queries:       f.queries,
+		TotalMPCSecs:  f.rt.Meter.Seconds(mpc.OpTransform) + f.rt.Meter.Seconds(mpc.OpShrink),
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+
+	"incshrink/internal/mpc"
+	"incshrink/internal/oblivious"
+	"incshrink/internal/workload"
+)
+
+// Shrinker is the view synchronization strategy: Shrink protocols implement
+// it over the framework's cache, view and MPC runtime. Init runs once when
+// the framework is constructed; Tick runs at the end of every time step.
+type Shrinker interface {
+	Init(f *Framework)
+	Tick(f *Framework, t int)
+	Name() string
+}
+
+// Timer is the sDPTimer protocol of Algorithm 2: every T time steps,
+// recover the cardinality counter inside the protocol, distort it with
+// jointly generated Laplace(b/eps) noise, fetch that many slots from the
+// sorted cache and append them to the view, then reset and re-share the
+// counter.
+type Timer struct {
+	// T is the update interval; 0 means "use the framework config".
+	T int
+}
+
+// Name implements Shrinker.
+func (s *Timer) Name() string { return "Timer" }
+
+// Init implements Shrinker.
+func (s *Timer) Init(f *Framework) {
+	if s.T == 0 {
+		s.T = f.cfg.T
+	}
+	if s.T < 1 {
+		s.T = 1
+	}
+}
+
+// Tick implements Shrinker.
+func (s *Timer) Tick(f *Framework, t int) {
+	if t == 0 || t%s.T != 0 {
+		return
+	}
+	c := f.recoverCounter()
+	noise := f.rt.JointLaplace(float64(f.cfg.Budget)/f.cfg.Epsilon, mpc.OpShrink)
+	f.syncToView(int(math.Round(float64(c) + noise)))
+	f.resetCounter()
+}
+
+// ANT is the sDPANT protocol of Algorithm 3: split the budget eps in two;
+// keep a secret-shared noisy threshold; each step distort the counter and
+// compare against the noisy threshold; on crossing, release a DP-sized fetch
+// and refresh the threshold with fresh randomness.
+type ANT struct {
+	// Theta is the synchronization threshold; 0 means "use the framework
+	// config".
+	Theta float64
+}
+
+// Name implements Shrinker.
+func (s *ANT) Name() string { return "ANT" }
+
+const thresholdKey = "theta"
+
+// thresholdFixedPoint converts the noisy threshold to/from the 32-bit
+// fixed-point representation stored secret-shared on the servers
+// (Alg. 3 line 3). 8 fractional bits are plenty for a count threshold.
+const thresholdScale = 256
+
+// Init implements Shrinker: draw and share the first noisy threshold.
+func (s *ANT) Init(f *Framework) {
+	if s.Theta == 0 {
+		s.Theta = f.cfg.Theta
+	}
+	s.refreshThreshold(f)
+}
+
+func (s *ANT) refreshThreshold(f *Framework) {
+	// Alg. 3 line 2/11: theta~ <- JointNoise(S0, S1, b, eps1/2, theta),
+	// i.e. Lap(b / (eps1/2)) = Lap(4b/eps) with eps1 = eps/2.
+	eps1 := f.cfg.Epsilon / 2
+	noisy := s.Theta + f.rt.JointLaplace(float64(f.cfg.Budget)/(eps1/2), mpc.OpShrink)
+	f.rt.ShareToServers(thresholdKey, uint32(int32(math.Round(noisy*thresholdScale))))
+}
+
+func (s *ANT) noisyThreshold(f *Framework) float64 {
+	w, err := f.rt.RecoverInside(thresholdKey)
+	if err != nil {
+		panic("core: noisy threshold share lost: " + err.Error())
+	}
+	return float64(int32(w)) / thresholdScale
+}
+
+// Tick implements Shrinker.
+func (s *ANT) Tick(f *Framework, t int) {
+	eps1 := f.cfg.Epsilon / 2
+	eps2 := f.cfg.Epsilon / 2
+	c := f.recoverCounter()
+	theta := s.noisyThreshold(f)
+	// Alg. 3 line 6: c~ <- JointNoise(S0, S1, b, eps1/4, c) = c + Lap(4b/eps1).
+	noisyC := float64(c) + f.rt.JointLaplace(float64(f.cfg.Budget)/(eps1/4), mpc.OpShrink)
+	if noisyC < theta {
+		return
+	}
+	// Alg. 3 line 8: sz <- c + Lap(b/eps2).
+	noise := f.rt.JointLaplace(float64(f.cfg.Budget)/eps2, mpc.OpShrink)
+	f.syncToView(int(math.Round(float64(c) + noise)))
+	s.refreshThreshold(f)
+	f.resetCounter()
+}
+
+// recoverCounter reconstructs the cardinality counter inside the protocol.
+func (f *Framework) recoverCounter() int {
+	c, err := f.rt.RecoverInside(counterKey)
+	if err != nil {
+		panic("core: counter share lost: " + err.Error())
+	}
+	return int(int32(c))
+}
+
+// resetCounter resets c to 0 and re-shares it (Alg. 2 line 9, Alg. 3:13).
+func (f *Framework) resetCounter() { f.rt.ShareToServers(counterKey, 0) }
+
+// syncToView performs the common tail of both Shrink protocols: clamp the
+// DP-sized fetch, obliviously sort the cache, cut the prefix into the view
+// (Alg. 2 lines 7-8 / Alg. 3 lines 9-10), then optionally prune the cache
+// tail to its public Theorem-4 bound.
+func (f *Framework) syncToView(sz int) {
+	if sz < 0 {
+		sz = 0
+	}
+	if sz > f.cache.Len() {
+		sz = f.cache.Len()
+	}
+	var fetched []oblivious.Entry
+	if f.cfg.PruneTo > 0 {
+		var lost int
+		fetched, lost = f.cache.ReadAndPrune(sz, f.cfg.SpillPerUpdate, f.cfg.PruneTo)
+		f.lostReal += lost
+		if f.cfg.SpillPerUpdate > 0 {
+			// The spill has a publicly fixed size; record it as a
+			// flush-class event, distinct from the DP-sized fetch.
+			f.rt.ObserveFlush(f.cfg.SpillPerUpdate, "spill")
+		}
+	} else {
+		fetched = f.cache.Read(sz)
+	}
+	f.view.Update(fetched)
+	f.rt.ObserveFetch(sz, "shrink")
+}
+
+// NewTimerEngine builds an IncShrink engine running sDPTimer.
+func NewTimerEngine(cfg Config, wl workload.Config) (*Framework, error) {
+	return New(cfg, wl, &Timer{})
+}
+
+// NewANTEngine builds an IncShrink engine running sDPANT.
+func NewANTEngine(cfg Config, wl workload.Config) (*Framework, error) {
+	return New(cfg, wl, &ANT{})
+}

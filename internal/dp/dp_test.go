@@ -1,0 +1,430 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func newRNG(seed int64) RNG { return rand.New(rand.NewSource(seed)) }
+
+func TestFixedPointInOpenUnitInterval(t *testing.T) {
+	cases := []uint32{0, 1, 1 << 31, math.MaxUint32}
+	for _, z := range cases {
+		r := FixedPoint(z)
+		if !(r > 0 && r < 1) {
+			t.Errorf("FixedPoint(%d) = %v not in (0,1)", z, r)
+		}
+	}
+	f := func(z uint32) bool { r := FixedPoint(z); return r > 0 && r < 1 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedPointMonotone(t *testing.T) {
+	if !(FixedPoint(0) < FixedPoint(1) && FixedPoint(1) < FixedPoint(math.MaxUint32)) {
+		t.Fatal("FixedPoint not monotone")
+	}
+}
+
+func TestSignFromMSB(t *testing.T) {
+	if SignFromMSB(0) != 1 {
+		t.Error("MSB 0 should give +1")
+	}
+	if SignFromMSB(0x80000000) != -1 {
+		t.Error("MSB 1 should give -1")
+	}
+	if SignFromMSB(0x7FFFFFFF) != 1 {
+		t.Error("0x7FFFFFFF should give +1")
+	}
+}
+
+func TestLaplaceFromWordsFinite(t *testing.T) {
+	f := func(zr, zs uint32) bool {
+		v := LaplaceFromWords(1.0, zr, zs)
+		return !math.IsNaN(v) && !math.IsInf(v, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLaplaceDistribution estimates the empirical median absolute deviation
+// and sign balance of the sampler. For Laplace(0, s): median |X| = s*ln 2,
+// P(X>0) = 1/2.
+func TestLaplaceDistribution(t *testing.T) {
+	rng := newRNG(42)
+	const n = 200000
+	scale := 3.0
+	abs := make([]float64, n)
+	pos := 0
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := Laplace(scale, rng)
+		abs[i] = math.Abs(v)
+		if v > 0 {
+			pos++
+		}
+		sum += v
+	}
+	sort.Float64s(abs)
+	medAbs := abs[n/2]
+	wantMed := scale * math.Ln2
+	if math.Abs(medAbs-wantMed) > 0.05*wantMed {
+		t.Errorf("median |X| = %v, want about %v", medAbs, wantMed)
+	}
+	if frac := float64(pos) / n; frac < 0.49 || frac > 0.51 {
+		t.Errorf("sign balance %v, want about 0.5", frac)
+	}
+	if mean := sum / n; math.Abs(mean) > 0.05*scale {
+		t.Errorf("mean %v, want about 0", mean)
+	}
+}
+
+// TestLaplaceVariance: Var(Laplace(0,s)) = 2 s^2.
+func TestLaplaceVariance(t *testing.T) {
+	rng := newRNG(43)
+	const n = 200000
+	scale := 2.0
+	var sumSq float64
+	for i := 0; i < n; i++ {
+		v := Laplace(scale, rng)
+		sumSq += v * v
+	}
+	got := sumSq / n
+	want := 2 * scale * scale
+	if math.Abs(got-want) > 0.05*want {
+		t.Errorf("variance %v, want about %v", got, want)
+	}
+}
+
+func TestLaplaceMechanismValidation(t *testing.T) {
+	rng := newRNG(1)
+	if _, err := LaplaceMechanism(1, 1, 0, rng); err == nil {
+		t.Error("epsilon 0 should error")
+	}
+	if _, err := LaplaceMechanism(1, 0, 1, rng); err == nil {
+		t.Error("sensitivity 0 should error")
+	}
+	if _, err := LaplaceMechanism(1, 1, math.Inf(1), rng); err == nil {
+		t.Error("infinite epsilon should error")
+	}
+	if _, err := LaplaceMechanism(1, math.NaN(), 1, rng); err == nil {
+		t.Error("NaN sensitivity should error")
+	}
+}
+
+func TestNoisyCountNonNegative(t *testing.T) {
+	rng := newRNG(2)
+	for i := 0; i < 10000; i++ {
+		n, err := NoisyCount(0, 1, 0.1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < 0 {
+			t.Fatalf("NoisyCount returned negative %d", n)
+		}
+	}
+}
+
+func TestNoisyCountCentersOnTruth(t *testing.T) {
+	rng := newRNG(3)
+	const truth, n = 1000, 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v, err := NoisyCount(truth, 1, 1.0, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += float64(v)
+	}
+	mean := sum / n
+	if math.Abs(mean-truth) > 1.0 {
+		t.Errorf("mean noisy count %v, want about %d", mean, truth)
+	}
+}
+
+func TestDeferredDataBound(t *testing.T) {
+	// Theorem 4 with b=10, eps=1.5, k=100, beta=0.05:
+	// 2*10/1.5*sqrt(100*ln 20).
+	got, err := DeferredDataBound(10, 1.5, 100, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 10.0 / 1.5 * math.Sqrt(100*math.Log(20))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("bound = %v want %v", got, want)
+	}
+	if _, err := DeferredDataBound(10, 1.5, 100, 1.5); err == nil {
+		t.Error("beta out of range should error")
+	}
+	if _, err := DeferredDataBound(0, 1.5, 100, 0.05); err == nil {
+		t.Error("zero b should error")
+	}
+}
+
+// TestDeferredBoundEmpirical simulates k Laplace(b/eps) noise draws (the sum
+// is the deferred count in Theorem 4's proof) and checks the tail bound.
+func TestDeferredBoundEmpirical(t *testing.T) {
+	rng := newRNG(44)
+	const k, trials = 64, 2000
+	b, eps, beta := 10.0, 1.5, 0.05
+	alpha, _ := DeferredDataBound(b, eps, k, beta)
+	exceed := 0
+	for trial := 0; trial < trials; trial++ {
+		var sum float64
+		for i := 0; i < k; i++ {
+			sum += Laplace(b/eps, rng)
+		}
+		if sum >= alpha {
+			exceed++
+		}
+	}
+	if frac := float64(exceed) / trials; frac > beta {
+		t.Errorf("empirical exceedance %v > beta %v", frac, beta)
+	}
+}
+
+func TestDummyInsertedBound(t *testing.T) {
+	got, err := DummyInsertedBound(10, 1.5, 100, 15, 10, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 {
+		t.Errorf("bound = %v, want positive", got)
+	}
+	if _, err := DummyInsertedBound(10, 1.5, 100, 15, 10, 0); err == nil {
+		t.Error("zero flush interval should error")
+	}
+}
+
+func TestANTDeferredBound(t *testing.T) {
+	got, err := ANTDeferredBound(20, 1.5, 1000, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 16 * 20.0 * (math.Log(1000) + math.Log(2/0.05)) / 1.5
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("bound = %v want %v", got, want)
+	}
+	// Small t is clamped, not an error.
+	if _, err := ANTDeferredBound(20, 1.5, 0, 0.05); err != nil {
+		t.Errorf("t=0 should clamp: %v", err)
+	}
+	if _, err := ANTDeferredBound(20, 1.5, 1000, 0); err == nil {
+		t.Error("beta 0 should error")
+	}
+}
+
+func TestFlushSizeFor(t *testing.T) {
+	s, err := FlushSizeFor(10, 1.5, 200, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 {
+		t.Errorf("flush size %d, want positive", s)
+	}
+}
+
+func TestNANTFiresNearThreshold(t *testing.T) {
+	rng := newRNG(7)
+	m, err := NewNANT(30, 1, 50, rng) // large epsilon: little noise
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := 0
+	firedAt := -1
+	for step := 0; step < 200; step++ {
+		c += 3
+		rel, fired := m.Step(c)
+		if fired {
+			firedAt = c
+			if rel < c-10 || rel > c+10 {
+				t.Errorf("release %d far from truth %d at high epsilon", rel, c)
+			}
+			break
+		}
+	}
+	if firedAt < 0 {
+		t.Fatal("NANT never fired")
+	}
+	if firedAt < 15 || firedAt > 60 {
+		t.Errorf("fired at count %d, want near threshold 30", firedAt)
+	}
+}
+
+func TestNANTRepeatedFiring(t *testing.T) {
+	rng := newRNG(8)
+	m, err := NewNANT(30, 1, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fires := 0
+	c := 0
+	for step := 0; step < 1000; step++ {
+		c += 3
+		_, fired := m.Step(c)
+		if fired {
+			fires++
+			c = 0 // reset counter as sDPANT does
+		}
+	}
+	if fires < 50 || fires > 200 {
+		t.Errorf("fires = %d over 1000 steps at rate 3/step threshold 30, want around 100", fires)
+	}
+	if m.Fires() != fires {
+		t.Errorf("Fires() = %d want %d", m.Fires(), fires)
+	}
+	if m.Steps() != 1000 {
+		t.Errorf("Steps() = %d want 1000", m.Steps())
+	}
+}
+
+func TestNANTThresholdRefreshes(t *testing.T) {
+	rng := newRNG(9)
+	m, err := NewNANT(30, 1, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.NoisyThreshold()
+	// Force a fire with an enormous count.
+	_, fired := m.Step(1 << 20)
+	if !fired {
+		t.Fatal("huge count did not fire")
+	}
+	if m.NoisyThreshold() == before {
+		t.Error("noisy threshold did not refresh after fire")
+	}
+}
+
+func TestNANTValidation(t *testing.T) {
+	rng := newRNG(10)
+	if _, err := NewNANT(30, 0, 1, rng); err == nil {
+		t.Error("zero sensitivity should error")
+	}
+	if _, err := NewNANT(30, 1, 0, rng); err == nil {
+		t.Error("zero epsilon should error")
+	}
+}
+
+func TestNANTReleaseNonNegative(t *testing.T) {
+	rng := newRNG(11)
+	m, _ := NewNANT(0, 1, 0.05, rng) // heavy noise, threshold 0
+	for i := 0; i < 5000; i++ {
+		rel, fired := m.Step(0)
+		if fired && rel < 0 {
+			t.Fatalf("negative release %d", rel)
+		}
+	}
+}
+
+func TestAccountantSequential(t *testing.T) {
+	a := NewAccountant(1.0)
+	if err := a.ChargeSequential(0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ChargeSequential(0.6); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Spent(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("spent = %v want 1.0", got)
+	}
+	if err := a.ChargeSequential(0.01); err == nil {
+		t.Error("over-budget charge should error")
+	}
+}
+
+func TestAccountantParallel(t *testing.T) {
+	a := NewAccountant(1.0)
+	for _, eps := range []float64{0.2, 0.5, 0.3} {
+		if err := a.ChargeParallel(eps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Spent(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("parallel spent = %v want 0.5 (max)", got)
+	}
+}
+
+func TestAccountantStable(t *testing.T) {
+	a := NewAccountant(0) // tracking only
+	if err := a.ChargeStable(10, 0.15); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Spent(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("stable spent = %v want 1.5", got)
+	}
+	if !math.IsInf(a.Remaining(), 1) {
+		t.Error("unenforced accountant should have infinite remaining")
+	}
+	if err := a.ChargeStable(-1, 0.1); err == nil {
+		t.Error("negative stability should error")
+	}
+}
+
+func TestAccountantNegativeCharges(t *testing.T) {
+	a := NewAccountant(1)
+	if err := a.ChargeSequential(-0.1); err == nil {
+		t.Error("negative sequential charge should error")
+	}
+	if err := a.ChargeParallel(-0.1); err == nil {
+		t.Error("negative parallel charge should error")
+	}
+}
+
+func TestAccountantRemaining(t *testing.T) {
+	a := NewAccountant(2.0)
+	_ = a.ChargeSequential(0.5)
+	if got := a.Remaining(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("remaining = %v want 1.5", got)
+	}
+}
+
+func TestUserLevelEpsilon(t *testing.T) {
+	if got := UserLevelEpsilon(0.5, 4); got != 2.0 {
+		t.Errorf("user-level eps = %v want 2", got)
+	}
+	if got := UserLevelEpsilon(0.5, 0); got != 0.5 {
+		t.Errorf("ell<1 should clamp to 1, got %v", got)
+	}
+}
+
+// TestJointNoiseXORUniform: the XOR of one honest uniform word with any
+// adversarially fixed word is uniform, the property underpinning joint noise
+// generation. We fix z0 adversarially and verify the Laplace sample
+// distribution is unchanged.
+func TestJointNoiseXORUniform(t *testing.T) {
+	rng := newRNG(45)
+	const n = 100000
+	adversarial := uint32(0xDEADBEEF)
+	var pos int
+	for i := 0; i < n; i++ {
+		z := rng.Uint32() ^ adversarial // honest XOR adversarial
+		zs := rng.Uint32() ^ adversarial
+		if LaplaceFromWords(1, z, zs) > 0 {
+			pos++
+		}
+	}
+	if frac := float64(pos) / n; frac < 0.49 || frac > 0.51 {
+		t.Errorf("sign balance %v under adversarial XOR, want 0.5", frac)
+	}
+}
+
+func BenchmarkLaplace(b *testing.B) {
+	rng := newRNG(99)
+	for i := 0; i < b.N; i++ {
+		_ = Laplace(1.0, rng)
+	}
+}
+
+func BenchmarkNANTStep(b *testing.B) {
+	rng := newRNG(100)
+	m, _ := NewNANT(30, 1, 1.5, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step(i % 40)
+	}
+}

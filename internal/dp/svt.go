@@ -1,0 +1,158 @@
+package dp
+
+import (
+	"fmt"
+	"math"
+)
+
+// NANT implements the Numeric Above Noisy Threshold mechanism of Algorithm 5,
+// the DP core of sDPANT. The total budget epsilon is split in half: eps1
+// drives the sparse-vector condition check (threshold noise Lap(2*Delta/eps1),
+// per-step query noise Lap(4*Delta/eps1)) and eps2 pays for the numeric
+// release Lap(2*Delta/eps2) when the threshold fires. Repeating NANT over the
+// disjoint inter-update intervals composes in parallel, so the whole stream
+// costs epsilon (Theorem 13).
+type NANT struct {
+	Threshold   float64
+	Sensitivity float64
+	Eps1        float64 // budget for the condition check
+	Eps2        float64 // budget for the numeric release
+	rng         RNG
+
+	noisyThreshold float64
+	fires          int
+	steps          int
+}
+
+// NewNANT creates a mechanism with the paper's default even split
+// eps1 = eps2 = epsilon/2 and draws the first noisy threshold.
+func NewNANT(threshold, sensitivity, epsilon float64, rng RNG) (*NANT, error) {
+	if err := validate(sensitivity, epsilon); err != nil {
+		return nil, err
+	}
+	m := &NANT{
+		Threshold:   threshold,
+		Sensitivity: sensitivity,
+		Eps1:        epsilon / 2,
+		Eps2:        epsilon / 2,
+		rng:         rng,
+	}
+	m.refreshThreshold()
+	return m, nil
+}
+
+func (m *NANT) refreshThreshold() {
+	m.noisyThreshold = m.Threshold + Laplace(2*m.Sensitivity/m.Eps1, m.rng)
+}
+
+// NoisyThreshold exposes the current noisy threshold. In the deployed system
+// this value lives secret-shared across the two servers (Alg. 3:3); it is
+// public here only so tests and the MPC layer can reconstruct it inside the
+// protocol.
+func (m *NANT) NoisyThreshold() float64 { return m.noisyThreshold }
+
+// Step feeds the current true count. It returns (release, true) when the
+// noised count crosses the noised threshold — in which case the threshold is
+// refreshed with fresh randomness and the caller must reset its counter —
+// and (0, false) otherwise.
+func (m *NANT) Step(count int) (release int, fired bool) {
+	m.steps++
+	noised := float64(count) + Laplace(4*m.Sensitivity/m.Eps1, m.rng)
+	if noised < m.noisyThreshold {
+		return 0, false
+	}
+	m.fires++
+	out := float64(count) + Laplace(2*m.Sensitivity/m.Eps2, m.rng)
+	n := int(math.Round(out))
+	if n < 0 {
+		n = 0
+	}
+	m.refreshThreshold()
+	return n, true
+}
+
+// Fires reports how many times the threshold has fired.
+func (m *NANT) Fires() int { return m.fires }
+
+// Steps reports how many counts have been fed.
+func (m *NANT) Steps() int { return m.steps }
+
+// Accountant tracks cumulative privacy loss across mechanisms. It implements
+// the three composition rules the paper invokes:
+//
+//   - Sequential composition (Dwork & Roth Thm. 3.14): losses add.
+//   - Parallel composition: mechanisms over disjoint data cost the max;
+//     callers declare disjointness by charging through ChargeParallel.
+//   - Stability scaling (Lemma 2): an eps-DP mechanism applied to the output
+//     of a q-stable transformation costs q*eps against the input.
+type Accountant struct {
+	sequential float64
+	parallel   float64
+	budget     float64
+}
+
+// NewAccountant creates an accountant with the given total budget. A budget
+// of zero or below disables enforcement (tracking only).
+func NewAccountant(budget float64) *Accountant {
+	return &Accountant{budget: budget}
+}
+
+// ErrBudgetExceeded is returned when a charge would exceed the configured
+// budget.
+var ErrBudgetExceeded = fmt.Errorf("dp: privacy budget exceeded")
+
+// ChargeSequential adds eps to the sequential loss.
+func (a *Accountant) ChargeSequential(eps float64) error {
+	if eps < 0 {
+		return fmt.Errorf("dp: negative charge %v", eps)
+	}
+	if a.budget > 0 && a.Spent()+eps > a.budget+1e-12 {
+		return fmt.Errorf("%w: spent %v + %v > %v", ErrBudgetExceeded, a.Spent(), eps, a.budget)
+	}
+	a.sequential += eps
+	return nil
+}
+
+// ChargeParallel records an eps-DP release over data disjoint from all other
+// parallel charges; the running parallel loss is the maximum.
+func (a *Accountant) ChargeParallel(eps float64) error {
+	if eps < 0 {
+		return fmt.Errorf("dp: negative charge %v", eps)
+	}
+	newParallel := math.Max(a.parallel, eps)
+	if a.budget > 0 && a.sequential+newParallel > a.budget+1e-12 {
+		return fmt.Errorf("%w: spent %v + %v > %v", ErrBudgetExceeded, a.sequential, newParallel, a.budget)
+	}
+	a.parallel = newParallel
+	return nil
+}
+
+// ChargeStable charges an eps-DP mechanism applied downstream of a q-stable
+// transformation (Lemma 2): the effective loss against the source data is
+// q*eps, accounted sequentially.
+func (a *Accountant) ChargeStable(q, eps float64) error {
+	if q < 0 {
+		return fmt.Errorf("dp: negative stability %v", q)
+	}
+	return a.ChargeSequential(q * eps)
+}
+
+// Spent returns the total privacy loss so far.
+func (a *Accountant) Spent() float64 { return a.sequential + a.parallel }
+
+// Remaining returns budget - spent, or +Inf when unenforced.
+func (a *Accountant) Remaining() float64 {
+	if a.budget <= 0 {
+		return math.Inf(1)
+	}
+	return a.budget - a.Spent()
+}
+
+// UserLevelEpsilon converts an event-level guarantee to user level via group
+// privacy (Section 4.2): a user owning at most ell tuples gets ell*eps.
+func UserLevelEpsilon(eventEps float64, ell int) float64 {
+	if ell < 1 {
+		ell = 1
+	}
+	return eventEps * float64(ell)
+}

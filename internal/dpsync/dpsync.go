@@ -1,0 +1,286 @@
+// Package dpsync implements the Section 8 extension "Connecting with
+// DP-Sync": owner-side private record-synchronization strategies (from Wang
+// et al.'s DP-Sync) that decide *when and how much* an owner uploads, plus
+// the composed privacy and utility accounting of Theorems 15-17.
+//
+// IncShrink's prototype assumes owners upload fixed-size blocks at fixed
+// intervals; with this package the owner instead runs a DP strategy over
+// its local arrival stream, and the composed system guarantees
+// (eps_sync + eps_view)-DP by sequential composition, with additive logical
+// gaps (Theorem 17).
+package dpsync
+
+import (
+	"fmt"
+	"math"
+
+	"incshrink/internal/dp"
+	"incshrink/internal/oblivious"
+	"incshrink/internal/workload"
+)
+
+// Strategy decides, at every time step, how many of the owner's pending
+// records to upload. Implementations must base the decision only on
+// DP-protected state so the upload pattern itself is private.
+type Strategy interface {
+	// Decide is called once per step with the number of records received
+	// this step; it returns how many pending records to upload now
+	// (0 = no upload). The returned count is a *target*: the synchronizer
+	// pads with dummies when fewer real records are pending.
+	Decide(t int, arrived int) int
+	// Epsilon returns the strategy's event-level DP guarantee.
+	Epsilon() float64
+	Name() string
+}
+
+// FixedSync is the prototype behavior: upload exactly Block records every
+// Interval steps. It reveals nothing data-dependent, so its epsilon is 0.
+type FixedSync struct {
+	Interval int
+	Block    int
+}
+
+// Name implements Strategy.
+func (s *FixedSync) Name() string { return "fixed" }
+
+// Epsilon implements Strategy: a data-independent schedule leaks nothing.
+func (s *FixedSync) Epsilon() float64 { return 0 }
+
+// Decide implements Strategy.
+func (s *FixedSync) Decide(t int, arrived int) int {
+	if s.Interval < 1 || (t+1)%s.Interval != 0 {
+		return 0
+	}
+	return s.Block
+}
+
+// TimerSync is DP-Sync's DP-Timer strategy: every Interval steps upload a
+// Laplace-noised count of the records received since the last upload.
+type TimerSync struct {
+	Interval int
+	Eps      float64
+	rng      dp.RNG
+	pending  int
+}
+
+// NewTimerSync builds the strategy with its own randomness stream.
+func NewTimerSync(interval int, eps float64, rng dp.RNG) (*TimerSync, error) {
+	if interval < 1 {
+		return nil, fmt.Errorf("dpsync: interval must be positive, got %d", interval)
+	}
+	if !(eps > 0) {
+		return nil, fmt.Errorf("dpsync: epsilon must be positive, got %v", eps)
+	}
+	return &TimerSync{Interval: interval, Eps: eps, rng: rng}, nil
+}
+
+// Name implements Strategy.
+func (s *TimerSync) Name() string { return "dp-timer" }
+
+// Epsilon implements Strategy.
+func (s *TimerSync) Epsilon() float64 { return s.Eps }
+
+// Decide implements Strategy.
+func (s *TimerSync) Decide(t int, arrived int) int {
+	s.pending += arrived
+	if (t+1)%s.Interval != 0 {
+		return 0
+	}
+	n, _ := dp.NoisyCount(s.pending, 1, s.Eps, s.rng)
+	s.pending = 0
+	return n
+}
+
+// ANTSync is DP-Sync's above-noisy-threshold strategy: upload when the
+// noised pending count crosses a noised threshold.
+type ANTSync struct {
+	Eps     float64
+	nant    *dp.NANT
+	pending int
+}
+
+// NewANTSync builds the strategy.
+func NewANTSync(threshold float64, eps float64, rng dp.RNG) (*ANTSync, error) {
+	n, err := dp.NewNANT(threshold, 1, eps, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &ANTSync{Eps: eps, nant: n}, nil
+}
+
+// Name implements Strategy.
+func (s *ANTSync) Name() string { return "dp-ant" }
+
+// Epsilon implements Strategy.
+func (s *ANTSync) Epsilon() float64 { return s.Eps }
+
+// Decide implements Strategy.
+func (s *ANTSync) Decide(t int, arrived int) int {
+	s.pending += arrived
+	release, fired := s.nant.Step(s.pending)
+	if !fired {
+		return 0
+	}
+	s.pending = 0
+	return release
+}
+
+// Synchronizer applies a strategy to an arrival stream, maintaining the
+// owner's local buffer and emitting padded upload blocks. It tracks the
+// logical gap (Theorem 15): records received but not yet uploaded.
+type Synchronizer struct {
+	strategy Strategy
+	buffer   []oblivious.Record
+	maxGap   int
+	uploads  int
+	dummyID  int64
+}
+
+// NewSynchronizer wraps a strategy.
+func NewSynchronizer(s Strategy) *Synchronizer {
+	return &Synchronizer{strategy: s, dummyID: -1000000}
+}
+
+// Step feeds the records the owner received this step and returns the block
+// to upload (nil when the strategy stays silent). Blocks are padded with
+// dummy records up to the strategy's decided size; when the decided size is
+// below the pending backlog, the overflow waits (that is the logical gap).
+func (sy *Synchronizer) Step(t int, received []oblivious.Record) []oblivious.Record {
+	sy.buffer = append(sy.buffer, received...)
+	n := sy.strategy.Decide(t, len(received))
+	if gap := len(sy.buffer); gap > sy.maxGap {
+		sy.maxGap = gap
+	}
+	if n <= 0 {
+		return nil
+	}
+	sy.uploads++
+	block := make([]oblivious.Record, 0, n)
+	take := n
+	if take > len(sy.buffer) {
+		take = len(sy.buffer)
+	}
+	block = append(block, sy.buffer[:take]...)
+	sy.buffer = append([]oblivious.Record(nil), sy.buffer[take:]...)
+	for len(block) < n {
+		block = append(block, oblivious.Record{ID: sy.dummyID, Row: []int64{sy.dummyID, int64(t)}})
+		sy.dummyID--
+	}
+	return block
+}
+
+// Gap returns the current logical gap (pending records).
+func (sy *Synchronizer) Gap() int { return len(sy.buffer) }
+
+// MaxGap returns the largest logical gap observed.
+func (sy *Synchronizer) MaxGap() int { return sy.maxGap }
+
+// Uploads returns the number of uploads performed.
+func (sy *Synchronizer) Uploads() int { return sy.uploads }
+
+// Guarantee is the composed system's privacy/utility statement.
+type Guarantee struct {
+	// Epsilon is the total privacy loss: eps_sync + eps_view by sequential
+	// composition (the two mechanisms observe the same stream).
+	Epsilon float64
+	// ErrorBound is the composed logical-gap bound of Theorem 17:
+	// O(b*alpha + 2b*sqrt(k)/eps) under sDPTimer,
+	// O(b*alpha + 16b*log(t)/eps) under sDPANT.
+	ErrorBound float64
+}
+
+// Protocol selects which Shrink protocol's utility bound to compose.
+type Protocol int
+
+// The two Shrink protocols.
+const (
+	Timer Protocol = iota
+	ANT
+)
+
+// Compose returns the composed guarantee for a synchronization strategy with
+// (alpha, beta)-accuracy feeding an IncShrink deployment (Theorem 17).
+// k is the number of view updates (Timer) and t the horizon (ANT).
+func Compose(syncEps, viewEps float64, alpha float64, b int, proto Protocol, k, t int, beta float64) (Guarantee, error) {
+	if b < 1 {
+		return Guarantee{}, fmt.Errorf("dpsync: contribution bound must be positive, got %d", b)
+	}
+	var viewTerm float64
+	var err error
+	switch proto {
+	case Timer:
+		viewTerm, err = dp.DeferredDataBound(float64(b), viewEps, k, beta)
+	case ANT:
+		viewTerm, err = dp.ANTDeferredBound(float64(b), viewEps, t, beta)
+	default:
+		return Guarantee{}, fmt.Errorf("dpsync: unknown protocol %d", proto)
+	}
+	if err != nil {
+		return Guarantee{}, err
+	}
+	return Guarantee{
+		Epsilon:    syncEps + viewEps,
+		ErrorBound: float64(b)*alpha + viewTerm,
+	}, nil
+}
+
+// AccuracyOf empirically estimates a strategy's (alpha, beta)-accuracy
+// (Theorem 16) by replaying an arrival trace and measuring the logical gap
+// distribution: it returns the (1-beta)-quantile gap.
+func AccuracyOf(s Strategy, arrivals []int, beta float64) (alpha float64, err error) {
+	if beta <= 0 || beta >= 1 {
+		return 0, fmt.Errorf("dpsync: beta must lie in (0,1), got %v", beta)
+	}
+	sy := NewSynchronizer(s)
+	gaps := make([]float64, 0, len(arrivals))
+	id := int64(1)
+	for t, n := range arrivals {
+		recs := make([]oblivious.Record, n)
+		for i := range recs {
+			recs[i] = oblivious.Record{ID: id, Row: []int64{id, int64(t)}}
+			id++
+		}
+		sy.Step(t, recs)
+		gaps = append(gaps, float64(sy.Gap()))
+	}
+	return quantile(gaps, 1-beta), nil
+}
+
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	for i := 1; i < len(sorted); i++ { // insertion sort: n is small here
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// DriveWorkload replays a generated trace through an owner-side strategy:
+// the left stream's per-step arrivals are re-batched by the synchronizer
+// before reaching the servers, producing a new sequence of steps whose
+// upload pattern is governed by the strategy instead of the fixed schedule.
+// This is the glue for running a composed DP-Sync + IncShrink deployment.
+func DriveWorkload(tr *workload.Trace, s Strategy) ([]workload.Step, *Synchronizer) {
+	sy := NewSynchronizer(s)
+	out := make([]workload.Step, len(tr.Steps))
+	for i, st := range tr.Steps {
+		out[i] = workload.Step{
+			T:        st.T,
+			Left:     sy.Step(st.T, st.Left),
+			Right:    st.Right,
+			NewPairs: st.NewPairs,
+		}
+	}
+	return out, sy
+}

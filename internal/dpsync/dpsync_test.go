@@ -1,0 +1,281 @@
+package dpsync
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"incshrink/internal/core"
+	"incshrink/internal/oblivious"
+	"incshrink/internal/sim"
+	"incshrink/internal/workload"
+)
+
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestFixedSync(t *testing.T) {
+	s := &FixedSync{Interval: 5, Block: 3}
+	if s.Epsilon() != 0 {
+		t.Error("fixed schedule should cost no privacy")
+	}
+	uploads := 0
+	for tm := 0; tm < 20; tm++ {
+		if n := s.Decide(tm, 1); n > 0 {
+			uploads++
+			if n != 3 {
+				t.Errorf("block = %d, want 3", n)
+			}
+			if (tm+1)%5 != 0 {
+				t.Errorf("upload at off-schedule step %d", tm)
+			}
+		}
+	}
+	if uploads != 4 {
+		t.Errorf("uploads = %d, want 4", uploads)
+	}
+	if (&FixedSync{}).Decide(0, 1) != 0 {
+		t.Error("zero-interval fixed sync should stay silent")
+	}
+}
+
+func TestTimerSyncValidation(t *testing.T) {
+	if _, err := NewTimerSync(0, 1, newRNG(1)); err == nil {
+		t.Error("interval 0 accepted")
+	}
+	if _, err := NewTimerSync(5, 0, newRNG(1)); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+}
+
+func TestTimerSyncUploadsNoisyCounts(t *testing.T) {
+	s, err := NewTimerSync(10, 1.0, newRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "dp-timer" || s.Epsilon() != 1.0 {
+		t.Error("metadata wrong")
+	}
+	var sizes []int
+	for tm := 0; tm < 500; tm++ {
+		if n := s.Decide(tm, 3); n > 0 || (tm+1)%10 == 0 {
+			sizes = append(sizes, n)
+			if (tm+1)%10 != 0 {
+				t.Fatalf("upload off schedule at %d", tm)
+			}
+		}
+	}
+	if len(sizes) != 50 {
+		t.Fatalf("%d decisions, want 50", len(sizes))
+	}
+	// Mean should be near the true 30 per interval; individual values noisy.
+	sum, exact := 0, 0
+	for _, n := range sizes {
+		sum += n
+		if n == 30 {
+			exact++
+		}
+	}
+	mean := float64(sum) / float64(len(sizes))
+	if math.Abs(mean-30) > 5 {
+		t.Errorf("mean upload %v, want about 30", mean)
+	}
+	if exact == len(sizes) {
+		t.Error("every upload equals the true count: noise missing")
+	}
+}
+
+func TestANTSyncFires(t *testing.T) {
+	s, err := NewANTSync(20, 2.0, newRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "dp-ant" {
+		t.Error("name wrong")
+	}
+	fires := 0
+	for tm := 0; tm < 300; tm++ {
+		if n := s.Decide(tm, 2); n > 0 {
+			fires++
+		}
+	}
+	if fires < 5 || fires > 200 {
+		t.Errorf("ANT fires = %d, implausible", fires)
+	}
+	if _, err := NewANTSync(20, 0, newRNG(3)); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+}
+
+func recs(id *int64, n, t int) []oblivious.Record {
+	out := make([]oblivious.Record, n)
+	for i := range out {
+		out[i] = oblivious.Record{ID: *id, Row: []int64{*id, int64(t)}}
+		*id++
+	}
+	return out
+}
+
+func TestSynchronizerPadsAndDefers(t *testing.T) {
+	s := &FixedSync{Interval: 2, Block: 5}
+	sy := NewSynchronizer(s)
+	var id int64 = 1
+	// Step 0: 3 records, no upload (interval 2).
+	if got := sy.Step(0, recs(&id, 3, 0)); got != nil {
+		t.Fatalf("unexpected upload %v", got)
+	}
+	if sy.Gap() != 3 {
+		t.Errorf("gap = %d", sy.Gap())
+	}
+	// Step 1: 4 more -> 7 pending; block 5 ships, 2 defer.
+	block := sy.Step(1, recs(&id, 4, 1))
+	if len(block) != 5 {
+		t.Fatalf("block size %d, want 5", len(block))
+	}
+	real := 0
+	for _, r := range block {
+		if r.ID > 0 {
+			real++
+		}
+	}
+	if real != 5 {
+		t.Errorf("block real count %d, want 5", real)
+	}
+	if sy.Gap() != 2 {
+		t.Errorf("gap after upload = %d, want 2", sy.Gap())
+	}
+	// Step 3: nothing new; block of 5 covers the 2 pending plus 3 dummies.
+	sy.Step(2, nil)
+	block = sy.Step(3, nil)
+	if len(block) != 5 {
+		t.Fatalf("block size %d, want 5", len(block))
+	}
+	real = 0
+	for _, r := range block {
+		if r.ID > 0 {
+			real++
+		}
+	}
+	if real != 2 {
+		t.Errorf("block real count %d, want 2 (padded with dummies)", real)
+	}
+	if sy.Uploads() != 2 || sy.MaxGap() != 7 {
+		t.Errorf("uploads=%d maxGap=%d", sy.Uploads(), sy.MaxGap())
+	}
+}
+
+func TestAccuracyOf(t *testing.T) {
+	s := &FixedSync{Interval: 5, Block: 100} // always drains
+	arrivals := make([]int, 200)
+	for i := range arrivals {
+		arrivals[i] = 3
+	}
+	alpha, err := AccuracyOf(s, arrivals, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gap peaks at 15 just before each upload.
+	if alpha < 10 || alpha > 16 {
+		t.Errorf("alpha = %v, want near 15", alpha)
+	}
+	if _, err := AccuracyOf(s, arrivals, 0); err == nil {
+		t.Error("beta 0 accepted")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	g, err := Compose(0.5, 1.0, 15, 10, Timer, 100, 0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Epsilon-1.5) > 1e-12 {
+		t.Errorf("composed epsilon %v, want 1.5", g.Epsilon)
+	}
+	if g.ErrorBound <= 150 { // b*alpha alone is 150
+		t.Errorf("error bound %v must exceed b*alpha", g.ErrorBound)
+	}
+	gANT, err := Compose(0.5, 1.0, 15, 10, ANT, 0, 1000, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gANT.ErrorBound <= 150 {
+		t.Errorf("ANT error bound %v must exceed b*alpha", gANT.ErrorBound)
+	}
+	if _, err := Compose(0.5, 1, 15, 0, Timer, 10, 0, 0.05); err == nil {
+		t.Error("b=0 accepted")
+	}
+	if _, err := Compose(0.5, 1, 15, 10, Protocol(9), 10, 0, 0.05); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+// TestComposedEndToEnd runs a full composed deployment: an owner-side
+// DP-Timer synchronization strategy feeding an IncShrink DP-Timer view, and
+// checks the system still answers with bounded error.
+func TestComposedEndToEnd(t *testing.T) {
+	wl := workload.TPCDS(300, 11)
+	tr, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := NewTimerSync(wl.UploadEvery, 1.0, newRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, sy := DriveWorkload(tr, strat)
+
+	cfg := core.DefaultConfig(wl, 11)
+	cfg.T = 10
+	engine, err := core.NewTimerEngine(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := 0
+	var sumErr float64
+	for _, st := range steps {
+		engine.Step(st)
+		truth += st.NewPairs
+		res, _ := engine.Query()
+		sumErr += math.Abs(float64(truth - res))
+	}
+	avg := sumErr / float64(len(steps))
+	// The composed error includes both the sync gap and the view deferral;
+	// it must stay well below OTM-level error (~truth/2).
+	if avg > float64(truth)/4 {
+		t.Errorf("composed avg error %v too large (total %d)", avg, truth)
+	}
+	if sy.Uploads() == 0 {
+		t.Error("strategy never uploaded")
+	}
+	_ = sim.Options{}
+}
+
+func TestDriveWorkloadPreservesGroundTruth(t *testing.T) {
+	wl := workload.TPCDS(100, 13)
+	tr, _ := workload.Generate(wl)
+	steps, _ := DriveWorkload(tr, &FixedSync{Interval: 1, Block: wl.MaxLeft})
+	if len(steps) != len(tr.Steps) {
+		t.Fatal("step count changed")
+	}
+	for i := range steps {
+		if steps[i].NewPairs != tr.Steps[i].NewPairs {
+			t.Fatal("ground truth mutated")
+		}
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if q := quantile(xs, 1.0); q != 5 {
+		t.Errorf("q1.0 = %v", q)
+	}
+	if q := quantile(xs, 0.2); q != 1 {
+		t.Errorf("q0.2 = %v", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 {
+		t.Error("quantile mutated input")
+	}
+}

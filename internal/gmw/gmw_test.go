@@ -1,0 +1,254 @@
+package gmw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"incshrink/internal/mpc"
+)
+
+func ctx(seed int64) *Circuit { return NewCircuit(NewDealer(seed), 0) }
+
+func TestBitOpen(t *testing.T) {
+	c := ctx(1)
+	for _, v := range []bool{true, false} {
+		if c.ShareBit(v).Open() != v {
+			t.Fatalf("ShareBit(%v) round-trip failed", v)
+		}
+	}
+}
+
+func TestXORGate(t *testing.T) {
+	c := ctx(2)
+	for _, x := range []bool{false, true} {
+		for _, y := range []bool{false, true} {
+			if got := c.XOR(c.ShareBit(x), c.ShareBit(y)).Open(); got != (x != y) {
+				t.Errorf("XOR(%v,%v) = %v", x, y, got)
+			}
+		}
+	}
+	if c.ANDGates != 0 {
+		t.Error("XOR consumed AND gates")
+	}
+}
+
+func TestANDGateTruthTable(t *testing.T) {
+	c := ctx(3)
+	for _, x := range []bool{false, true} {
+		for _, y := range []bool{false, true} {
+			for trial := 0; trial < 20; trial++ { // fresh triples each time
+				if got := c.AND(c.ShareBit(x), c.ShareBit(y)).Open(); got != (x && y) {
+					t.Fatalf("AND(%v,%v) = %v", x, y, got)
+				}
+			}
+		}
+	}
+}
+
+func TestNotOrMux(t *testing.T) {
+	c := ctx(4)
+	if c.NOT(c.ShareBit(true)).Open() || !c.NOT(c.ShareBit(false)).Open() {
+		t.Error("NOT wrong")
+	}
+	for _, x := range []bool{false, true} {
+		for _, y := range []bool{false, true} {
+			if got := c.OR(c.ShareBit(x), c.ShareBit(y)).Open(); got != (x || y) {
+				t.Errorf("OR(%v,%v) = %v", x, y, got)
+			}
+			for _, sel := range []bool{false, true} {
+				want := x
+				if sel {
+					want = y
+				}
+				if got := c.MUX(c.ShareBit(sel), c.ShareBit(x), c.ShareBit(y)).Open(); got != want {
+					t.Errorf("MUX(%v,%v,%v) = %v", sel, x, y, got)
+				}
+			}
+		}
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	c := ctx(5)
+	f := func(v uint32) bool { return OpenWord(c.ShareWord(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdder(t *testing.T) {
+	c := ctx(6)
+	f := func(x, y uint32) bool {
+		return OpenWord(c.Add(c.ShareWord(x), c.ShareWord(y))) == x+y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdderANDCost(t *testing.T) {
+	c := ctx(7)
+	c.Add(c.ShareWord(1), c.ShareWord(2))
+	if c.ANDGates != 32 {
+		t.Errorf("32-bit adder used %d AND gates, want 32", c.ANDGates)
+	}
+}
+
+func TestLessThan(t *testing.T) {
+	c := ctx(8)
+	f := func(x, y uint32) bool {
+		return c.LessThan(c.ShareWord(x), c.ShareWord(y)).Open() == (x < y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	// Edge cases.
+	for _, pair := range [][2]uint32{{0, 0}, {0, 1}, {1, 0}, {^uint32(0), ^uint32(0)}, {^uint32(0) - 1, ^uint32(0)}} {
+		if got := c.LessThan(c.ShareWord(pair[0]), c.ShareWord(pair[1])).Open(); got != (pair[0] < pair[1]) {
+			t.Errorf("LessThan(%d,%d) = %v", pair[0], pair[1], got)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	c := ctx(9)
+	f := func(x, y uint32) bool {
+		same := c.Equal(c.ShareWord(x), c.ShareWord(y)).Open()
+		return same == (x == y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	if !c.Equal(c.ShareWord(42), c.ShareWord(42)).Open() {
+		t.Error("Equal(42,42) false")
+	}
+}
+
+func TestXORWords(t *testing.T) {
+	c := ctx(10)
+	f := func(x, y uint32) bool {
+		return OpenWord(c.XORWords(c.ShareWord(x), c.ShareWord(y))) == x^y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMuxWordsAndCompareExchange(t *testing.T) {
+	c := ctx(11)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		x, y := rng.Uint32(), rng.Uint32()
+		lo, hi := c.CompareExchange(c.ShareWord(x), c.ShareWord(y))
+		wantLo, wantHi := x, y
+		if y < x {
+			wantLo, wantHi = y, x
+		}
+		if OpenWord(lo) != wantLo || OpenWord(hi) != wantHi {
+			t.Fatalf("CompareExchange(%d,%d) = (%d,%d)", x, y, OpenWord(lo), OpenWord(hi))
+		}
+	}
+}
+
+func TestCounterUpdateMatchesTransform(t *testing.T) {
+	// Alg. 1 lines 4-6 at the gate level: counter stays shared end to end.
+	c := ctx(12)
+	counter := c.ShareWord(100)
+	for _, delta := range []uint32{3, 0, 27, 1} {
+		counter = c.CounterUpdate(counter, c.ShareWord(delta))
+	}
+	if got := OpenWord(counter); got != 131 {
+		t.Errorf("counter = %d, want 131", got)
+	}
+}
+
+func TestThresholdCheck(t *testing.T) {
+	c := ctx(13)
+	cases := []struct {
+		count, theta uint32
+		want         bool
+	}{{30, 30, true}, {29, 30, false}, {31, 30, true}, {0, 0, true}}
+	for _, tc := range cases {
+		if got := c.ThresholdCheck(c.ShareWord(tc.count), c.ShareWord(tc.theta)).Open(); got != tc.want {
+			t.Errorf("ThresholdCheck(%d,%d) = %v want %v", tc.count, tc.theta, got, tc.want)
+		}
+	}
+}
+
+// TestOpeningsUniform: the online transcript of an AND gate (the masked
+// openings d, e) must be uniform regardless of the inputs — the semi-honest
+// security argument at gate level.
+func TestOpeningsUniform(t *testing.T) {
+	const n = 20000
+	for _, inputs := range [][2]bool{{false, false}, {true, true}} {
+		c := ctx(14)
+		ones := 0
+		for i := 0; i < n; i++ {
+			c.AND(c.ShareBit(inputs[0]), c.ShareBit(inputs[1]))
+		}
+		for _, v := range c.Openings {
+			if v {
+				ones++
+			}
+		}
+		frac := float64(ones) / float64(len(c.Openings))
+		if frac < 0.48 || frac > 0.52 {
+			t.Errorf("inputs %v: opening bias %v, want 0.5", inputs, frac)
+		}
+	}
+}
+
+// TestCompareExchangeCostMatchesSimulator: the gate count of the real
+// comparator circuit must stay within the constant the cost simulator
+// charges (ANDGatesPerCompareExchangeBit per payload bit), keeping the two
+// layers honest with each other.
+func TestCompareExchangeCostMatchesSimulator(t *testing.T) {
+	c := ctx(15)
+	c.CompareExchange(c.ShareWord(5), c.ShareWord(9))
+	perBit := float64(c.ANDGates) / 32
+	model := mpc.DefaultCostModel()
+	if perBit < model.ANDGatesPerCompareExchangeBit || perBit > 2*model.ANDGatesPerCompareExchangeBit {
+		t.Errorf("real comparator costs %.2f AND/bit; simulator charges %.2f — recalibrate",
+			perBit, model.ANDGatesPerCompareExchangeBit)
+	}
+}
+
+func TestCommunicationAccounting(t *testing.T) {
+	c := ctx(16)
+	c.AND(c.ShareBit(true), c.ShareBit(false))
+	if c.BitsSent != 4 {
+		t.Errorf("one AND gate moved %d bits, want 4", c.BitsSent)
+	}
+	if c.Stats() == "" {
+		t.Error("empty stats")
+	}
+}
+
+func TestRecordLimit(t *testing.T) {
+	c := NewCircuit(NewDealer(17), 3)
+	for i := 0; i < 10; i++ {
+		c.AND(c.ShareBit(true), c.ShareBit(true))
+	}
+	if len(c.Openings) != 3 {
+		t.Errorf("transcript kept %d openings, want limit 3", len(c.Openings))
+	}
+}
+
+func BenchmarkAND(b *testing.B) {
+	c := ctx(99)
+	x, y := c.ShareBit(true), c.ShareBit(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AND(x, y)
+	}
+}
+
+func BenchmarkCompareExchange32(b *testing.B) {
+	c := ctx(100)
+	x, y := c.ShareWord(123), c.ShareWord(456)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.CompareExchange(x, y)
+	}
+}

@@ -1,0 +1,283 @@
+package mpc
+
+import (
+	"math"
+	"testing"
+
+	"incshrink/internal/dp"
+	"incshrink/internal/secretshare"
+)
+
+func TestSortCompareExchangesSmall(t *testing.T) {
+	// Known Batcher odd-even mergesort network sizes for powers of two:
+	// n=2: 1, n=4: 5, n=8: 19, n=16: 63.
+	want := map[int]int{0: 0, 1: 0, 2: 1, 4: 5, 8: 19, 16: 63}
+	for n, w := range want {
+		if got := SortCompareExchanges(n); got != w {
+			t.Errorf("SortCompareExchanges(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestSortCompareExchangesGrowth(t *testing.T) {
+	// Network size must be monotone in padded size and Theta(n log^2 n).
+	prev := 0
+	for _, n := range []int{2, 4, 8, 16, 32, 64, 128, 256, 1024} {
+		ce := SortCompareExchanges(n)
+		if ce < prev {
+			t.Errorf("network size decreased at n=%d", n)
+		}
+		prev = ce
+	}
+	r := CheckAsymptotics(4096)
+	if r < 0.5 || r > 4 {
+		t.Errorf("n log^2 n ratio = %v out of constant-factor range", r)
+	}
+}
+
+func TestMeterCharging(t *testing.T) {
+	m := NewMeter(DefaultCostModel())
+	m.ChargeSort(OpShrink, 8, 64)
+	wantGates := float64(19) * 64 * 3
+	if got := m.Gates(OpShrink); got != wantGates {
+		t.Errorf("sort gates = %v want %v", got, wantGates)
+	}
+	m.ChargeScan(OpQuery, 100, 64)
+	if got := m.Gates(OpQuery); got != 100*64*2 {
+		t.Errorf("scan gates = %v", got)
+	}
+	m.ChargeEqualities(OpTransform, 10, 32)
+	if got := m.Gates(OpTransform); got != 10*32*1 {
+		t.Errorf("equality gates = %v", got)
+	}
+	m.ChargeLaplace(OpShrink)
+	if got := m.Gates(OpShrink); got != wantGates+20000 {
+		t.Errorf("laplace charge missing: %v", got)
+	}
+	if m.TotalGates() != m.Gates(OpShrink)+m.Gates(OpQuery)+m.Gates(OpTransform) {
+		t.Error("total != sum of phases")
+	}
+	if m.Seconds(OpQuery) != m.Gates(OpQuery)/m.Model().GatesPerSecond {
+		t.Error("seconds conversion wrong")
+	}
+	if m.Bytes(OpQuery) != m.Gates(OpQuery)*32 {
+		t.Error("bytes conversion wrong")
+	}
+	if m.Calls(OpShrink) != 2 {
+		t.Errorf("calls = %d want 2", m.Calls(OpShrink))
+	}
+	snap := m.Snapshot()
+	if snap.Gates["Query"] != m.Gates(OpQuery) {
+		t.Error("snapshot mismatch")
+	}
+	m.Reset()
+	if m.TotalGates() != 0 {
+		t.Error("reset did not zero")
+	}
+}
+
+func TestMeterInvalidOpGoesToOther(t *testing.T) {
+	m := NewMeter(DefaultCostModel())
+	m.ChargeGates(Op(99), 10)
+	if m.Gates(OpOther) != 10 {
+		t.Error("invalid op not routed to Other")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpTransform.String() != "Transform" || OpShrink.String() != "Shrink" ||
+		OpQuery.String() != "Query" || OpOther.String() != "Other" {
+		t.Error("Op.String() wrong")
+	}
+}
+
+func TestRuntimeShareRecoverInside(t *testing.T) {
+	r := NewRuntime(DefaultCostModel(), 7)
+	r.SetTime(5)
+	r.ShareToServers("c", 12345)
+	got, err := r.RecoverInside("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 12345 {
+		t.Errorf("recovered %d want 12345", got)
+	}
+	if _, err := r.RecoverInside("missing"); err == nil {
+		t.Error("missing key should error")
+	}
+}
+
+// TestTranscriptContainsOnlySimulatableEvents: after a share+recover cycle,
+// each server's transcript must contain only its random contributions and a
+// uniformly distributed share — never the secret itself in any systematic
+// position. We re-share the same secret many times and check the stored
+// share's top-nibble histogram is flat.
+func TestTranscriptSharesUniform(t *testing.T) {
+	r := NewRuntime(DefaultCostModel(), 8)
+	const n = 16384
+	hist := make([]int, 16)
+	for i := 0; i < n; i++ {
+		r.ShareToServers("c", 0xABCD1234)
+		s, _ := r.S1.LoadShare("c")
+		hist[s>>28]++
+	}
+	exp := n / 16
+	for b, h := range hist {
+		if h < exp*7/10 || h > exp*13/10 {
+			t.Fatalf("bucket %d count %d far from uniform %d", b, h, exp)
+		}
+	}
+}
+
+func TestJointRandomWordUsesBothParties(t *testing.T) {
+	r := NewRuntime(DefaultCostModel(), 9)
+	r.SetTime(1)
+	w := r.JointRandomWord("test")
+	// Each party must have exactly one random contribution whose XOR is w.
+	ev0 := r.S0.Transcript.EventsAt(1)
+	ev1 := r.S1.Transcript.EventsAt(1)
+	if len(ev0) != 1 || len(ev1) != 1 {
+		t.Fatalf("contributions: %d and %d events", len(ev0), len(ev1))
+	}
+	if ev0[0].Kind != EvRandomContributed || ev1[0].Kind != EvRandomContributed {
+		t.Fatal("wrong event kinds")
+	}
+	if ev0[0].Share^ev1[0].Share != w {
+		t.Error("joint word is not the XOR of the contributions")
+	}
+}
+
+// TestJointLaplaceMatchesDPFormula: the runtime's private Laplace inversion
+// must agree with dp.LaplaceFromWords bit-for-bit for the same words.
+func TestJointLaplaceMatchesDPFormula(t *testing.T) {
+	words := []uint32{0, 1, 1 << 16, 1 << 31, math.MaxUint32, 0xDEADBEEF}
+	for _, zr := range words {
+		for _, zs := range words {
+			got := laplaceFromWords(2.5, zr, zs)
+			want := dp.LaplaceFromWords(2.5, zr, zs)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("laplaceFromWords(%d,%d) = %v, dp gives %v", zr, zs, got, want)
+			}
+		}
+	}
+}
+
+func TestJointLaplaceDistribution(t *testing.T) {
+	r := NewRuntime(DefaultCostModel(), 10)
+	const n = 100000
+	scale := 4.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.JointLaplace(scale, OpShrink)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.1*scale {
+		t.Errorf("mean %v not near 0", mean)
+	}
+	if want := 2 * scale * scale; math.Abs(variance-want) > 0.1*want {
+		t.Errorf("variance %v want about %v", variance, want)
+	}
+	if r.Meter.Calls(OpShrink) != n {
+		t.Errorf("laplace charges = %d want %d", r.Meter.Calls(OpShrink), n)
+	}
+}
+
+func TestObserveEventsAppearInBothTranscripts(t *testing.T) {
+	r := NewRuntime(DefaultCostModel(), 11)
+	r.SetTime(3)
+	r.ObserveBatch(40, "transform")
+	r.ObserveFetch(7, "shrink")
+	r.ObserveFlush(15, "flush")
+	for _, p := range []*Party{r.S0, r.S1} {
+		if got := p.Transcript.SizesOf(EvBatchObserved); len(got) != 1 || got[0] != 40 {
+			t.Errorf("%v batch sizes = %v", p.ID, got)
+		}
+		if got := p.Transcript.SizesOf(EvFetchObserved); len(got) != 1 || got[0] != 7 {
+			t.Errorf("%v fetch sizes = %v", p.ID, got)
+		}
+		if got := p.Transcript.SizesOf(EvFlushObserved); len(got) != 1 || got[0] != 15 {
+			t.Errorf("%v flush sizes = %v", p.ID, got)
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := []EventKind{EvShareReceived, EvBatchObserved, EvFetchObserved, EvFlushObserved, EvRandomContributed, EventKind(99)}
+	want := []string{"share", "batch", "fetch", "flush", "random", "unknown"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("kind %d string = %q want %q", i, k.String(), want[i])
+		}
+	}
+	if Server0.String() != "S0" || Server1.String() != "S1" {
+		t.Error("PartyID string wrong")
+	}
+}
+
+func TestCostModelConvenience(t *testing.T) {
+	m := DefaultCostModel()
+	if m.SortSeconds(8, 64) != float64(19*64*3)/m.GatesPerSecond {
+		t.Error("SortSeconds wrong")
+	}
+	if m.ScanSeconds(10, 32) != float64(10*32*2)/m.GatesPerSecond {
+		t.Error("ScanSeconds wrong")
+	}
+}
+
+func TestRuntimeDeterministicAcrossSeeds(t *testing.T) {
+	a := NewRuntime(DefaultCostModel(), 42)
+	b := NewRuntime(DefaultCostModel(), 42)
+	for i := 0; i < 100; i++ {
+		if a.JointRandomWord("x") != b.JointRandomWord("x") {
+			t.Fatal("same seed produced different joint words")
+		}
+	}
+	c := NewRuntime(DefaultCostModel(), 43)
+	same := true
+	for i := 0; i < 100; i++ {
+		if a.JointRandomWord("x") != c.JointRandomWord("x") {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestShareStoreOverwrite(t *testing.T) {
+	r := NewRuntime(DefaultCostModel(), 12)
+	r.ShareToServers("c", 1)
+	r.ShareToServers("c", 2)
+	got, err := r.RecoverInside("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("recovered %d want 2 after overwrite", got)
+	}
+}
+
+func TestPartyLoadShareMissing(t *testing.T) {
+	p := NewParty(Server0, 1)
+	if _, ok := p.LoadShare("nope"); ok {
+		t.Error("missing share reported present")
+	}
+	_ = secretshare.Word(0)
+}
+
+func BenchmarkSortNetworkSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = SortCompareExchanges(4096)
+	}
+}
+
+func BenchmarkJointLaplace(b *testing.B) {
+	r := NewRuntime(DefaultCostModel(), 99)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.JointLaplace(1.0, OpShrink)
+	}
+}

@@ -1,0 +1,105 @@
+package mpc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewMultiPartyValidation(t *testing.T) {
+	if _, err := NewMultiParty(1, 1); err == nil {
+		t.Error("single server accepted")
+	}
+	mp, err := NewMultiParty(5, 1)
+	if err != nil || len(mp.Parties) != 5 {
+		t.Fatalf("NewMultiParty(5) = %v, %v", mp, err)
+	}
+}
+
+func TestMultiPartyShareRecover(t *testing.T) {
+	for _, n := range []int{2, 3, 7} {
+		mp, err := NewMultiParty(n, int64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp.SetTime(4)
+		if err := mp.ShareToServers("c", 987654); err != nil {
+			t.Fatal(err)
+		}
+		got, err := mp.RecoverInside("c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 987654 {
+			t.Errorf("n=%d: recovered %d", n, got)
+		}
+	}
+}
+
+func TestMultiPartyRecoverMissing(t *testing.T) {
+	mp, _ := NewMultiParty(3, 2)
+	if _, err := mp.RecoverInside("nope"); err == nil {
+		t.Error("missing key accepted")
+	}
+}
+
+// TestMultiPartyJointWordHonestMinority: fixing all but one server's
+// randomness (simulating N-1 corruptions) must leave the joint word
+// uniform.
+func TestMultiPartyJointWordHonestMinority(t *testing.T) {
+	mp, _ := NewMultiParty(4, 3)
+	const n = 32768
+	hist := make([]int, 16)
+	for i := 0; i < n; i++ {
+		// Servers 1..3 "corrupted": their real contributions are still drawn
+		// but an adversary knowing them learns z XOR (their XOR) = server
+		// 0's word, which is uniform. We check the joint output directly.
+		hist[mp.JointRandomWord("x")>>28]++
+	}
+	exp := n / 16
+	for b, h := range hist {
+		if h < exp*8/10 || h > exp*12/10 {
+			t.Fatalf("bucket %d count %d far from uniform %d", b, h, exp)
+		}
+	}
+}
+
+func TestMultiPartyJointLaplace(t *testing.T) {
+	mp, _ := NewMultiParty(3, 5)
+	const n = 100000
+	scale := 2.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := mp.JointLaplace(scale)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.1*scale {
+		t.Errorf("mean %v not near 0", mean)
+	}
+	if want := 2 * scale * scale; math.Abs(variance-want) > 0.1*want {
+		t.Errorf("variance %v want about %v", variance, want)
+	}
+}
+
+// TestMultiPartySingleShareUniform: any single server's share of a fixed
+// secret must be uniformly distributed (N-1 corruption tolerance).
+func TestMultiPartySingleShareUniform(t *testing.T) {
+	mp, _ := NewMultiParty(3, 7)
+	const n = 16384
+	hist := make([]int, 16)
+	for i := 0; i < n; i++ {
+		if err := mp.ShareToServers("c", 0x12345678); err != nil {
+			t.Fatal(err)
+		}
+		s, _ := mp.Parties[2].LoadShare("c")
+		hist[s>>28]++
+	}
+	exp := n / 16
+	for b, h := range hist {
+		if h < exp*7/10 || h > exp*13/10 {
+			t.Fatalf("bucket %d count %d far from uniform %d", b, h, exp)
+		}
+	}
+}

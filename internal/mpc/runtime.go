@@ -1,0 +1,261 @@
+package mpc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"incshrink/internal/secretshare"
+)
+
+// PartyID identifies one of the two non-colluding outsourcing servers.
+type PartyID int
+
+// The two servers of the server-aided model.
+const (
+	Server0 PartyID = iota
+	Server1
+	numParties
+)
+
+// String implements fmt.Stringer.
+func (p PartyID) String() string { return fmt.Sprintf("S%d", int(p)) }
+
+// EventKind classifies transcript entries, mirroring the message types the
+// simulator of Table 1 must reproduce.
+type EventKind int
+
+// Transcript event kinds.
+const (
+	// EvShareReceived: the party stored one share of a secret-shared value
+	// (uploaded data, counters, thresholds). Uniformly distributed.
+	EvShareReceived EventKind = iota
+	// EvBatchObserved: the party observed an exhaustively padded batch of a
+	// publicly known size entering the cache (Transform output).
+	EvBatchObserved
+	// EvFetchObserved: the party observed a DP-sized fetch from cache to
+	// view (Shrink output). The size is the only data-dependent field.
+	EvFetchObserved
+	// EvFlushObserved: the party observed a fixed-size cache flush.
+	EvFlushObserved
+	// EvRandomContributed: the party contributed a random word to a joint
+	// computation (noise generation or re-sharing).
+	EvRandomContributed
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvShareReceived:
+		return "share"
+	case EvBatchObserved:
+		return "batch"
+	case EvFetchObserved:
+		return "fetch"
+	case EvFlushObserved:
+		return "flush"
+	case EvRandomContributed:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is a single observation in a server's view of the protocol
+// execution. Size carries batch/fetch cardinalities (the DP-protected
+// leakage); Share carries share values (uniform by construction); Time is
+// the logical time step.
+type Event struct {
+	Kind  EventKind
+	Time  int
+	Size  int
+	Share secretshare.Word
+	Label string
+}
+
+// Transcript is the ordered view of one server.
+type Transcript struct {
+	Party  PartyID
+	Events []Event
+}
+
+// Append records an event.
+func (tr *Transcript) Append(ev Event) { tr.Events = append(tr.Events, ev) }
+
+// SizesOf extracts the Size field of all events of one kind, the projection
+// the leakage tests compare against the DP mechanism's outputs.
+func (tr *Transcript) SizesOf(kind EventKind) []int {
+	var out []int
+	for _, ev := range tr.Events {
+		if ev.Kind == kind {
+			out = append(out, ev.Size)
+		}
+	}
+	return out
+}
+
+// EventsAt returns the events recorded at logical time t.
+func (tr *Transcript) EventsAt(t int) []Event {
+	var out []Event
+	for _, ev := range tr.Events {
+		if ev.Time == t {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Party models one outsourcing server: its local share store, its private
+// randomness, and its transcript.
+type Party struct {
+	ID         PartyID
+	rng        *rand.Rand
+	store      map[string]secretshare.Word
+	Transcript Transcript
+}
+
+// NewParty creates a server with its own private randomness stream.
+func NewParty(id PartyID, seed int64) *Party {
+	return &Party{
+		ID:         id,
+		rng:        rand.New(rand.NewSource(seed)),
+		store:      make(map[string]secretshare.Word),
+		Transcript: Transcript{Party: id},
+	}
+}
+
+// ContributeRandom draws one uniformly random word from the party's private
+// randomness — its input to joint noise generation and in-MPC re-sharing.
+// The contribution is recorded in the transcript (it is the party's own
+// input, hence trivially simulatable).
+func (p *Party) ContributeRandom(t int, label string) secretshare.Word {
+	z := p.rng.Uint32()
+	p.Transcript.Append(Event{Kind: EvRandomContributed, Time: t, Share: z, Label: label})
+	return z
+}
+
+// StoreShare saves one share under a key (e.g. the cardinality counter "c"
+// or the noisy threshold "theta") and records the observation.
+func (p *Party) StoreShare(t int, key string, share secretshare.Word) {
+	p.store[key] = share
+	p.Transcript.Append(Event{Kind: EvShareReceived, Time: t, Share: share, Label: key})
+}
+
+// LoadShare returns the share stored under key.
+func (p *Party) LoadShare(key string) (secretshare.Word, bool) {
+	w, ok := p.store[key]
+	return w, ok
+}
+
+// Runtime is the two-party protocol execution environment. Values recovered
+// "inside the protocol" are handled by Runtime methods and never written to
+// any party's transcript; only the events the paper's simulator reproduces
+// are observable.
+type Runtime struct {
+	S0, S1 *Party
+	Meter  *Meter
+	// protocolRNG supplies randomness for share splitting *inside* the
+	// protocol where the paper's construction XORs per-party contributions;
+	// tests can fix it for reproducibility.
+	protocolRNG *rand.Rand
+	now         int
+}
+
+// NewRuntime builds a runtime with the given cost model and seed. The seed
+// derives independent streams for each party and the protocol internals.
+func NewRuntime(model CostModel, seed int64) *Runtime {
+	return &Runtime{
+		S0:          NewParty(Server0, seed*3+1),
+		S1:          NewParty(Server1, seed*3+2),
+		Meter:       NewMeter(model),
+		protocolRNG: rand.New(rand.NewSource(seed*3 + 3)),
+	}
+}
+
+// SetTime advances the logical clock used to stamp transcript events.
+func (r *Runtime) SetTime(t int) { r.now = t }
+
+// Now returns the current logical time.
+func (r *Runtime) Now() int { return r.now }
+
+// ShareToServers secret-shares a value computed inside the protocol and
+// stores one share per server under key, using the Appendix A.2 re-sharing:
+// both servers contribute randomness so neither can predict the split.
+func (r *Runtime) ShareToServers(key string, value secretshare.Word) {
+	z0 := r.S0.ContributeRandom(r.now, "reshare:"+key)
+	z1 := r.S1.ContributeRandom(r.now, "reshare:"+key)
+	sh := secretshare.ReshareInside(value, z0, z1)
+	r.S0.StoreShare(r.now, key, sh.S0)
+	r.S1.StoreShare(r.now, key, sh.S1)
+}
+
+// RecoverInside reconstructs the value stored under key from both servers'
+// shares without exposing it: the plaintext exists only inside the protocol
+// (this function's return value) and is never appended to a transcript.
+func (r *Runtime) RecoverInside(key string) (secretshare.Word, error) {
+	s0, ok0 := r.S0.LoadShare(key)
+	s1, ok1 := r.S1.LoadShare(key)
+	if !ok0 || !ok1 {
+		return 0, fmt.Errorf("mpc: no shared value under key %q", key)
+	}
+	return secretshare.Recover(secretshare.Shares2{S0: s0, S1: s1}), nil
+}
+
+// JointRandomWord XORs one fresh random contribution from each server, the
+// joint randomness primitive of Alg. 2:4-5. As long as one server samples
+// honestly the result is uniform and unpredictable to the other.
+func (r *Runtime) JointRandomWord(label string) uint32 {
+	z0 := r.S0.ContributeRandom(r.now, label)
+	z1 := r.S1.ContributeRandom(r.now, label)
+	return z0 ^ z1
+}
+
+// JointLaplace draws Lap(scale) using joint randomness: one word for the
+// magnitude, one for the sign, each the XOR of per-server contributions.
+// This is the paper's JointNoise(S0, S1, Delta, eps, .) with
+// scale = Delta/eps. The Laplace circuit cost is charged to op.
+func (r *Runtime) JointLaplace(scale float64, op Op) float64 {
+	zr := r.JointRandomWord("noise:mag")
+	zs := r.JointRandomWord("noise:sign")
+	r.Meter.ChargeLaplace(op)
+	return laplaceFromWords(scale, zr, zs)
+}
+
+// ObserveBatch records that both servers saw an exhaustively padded batch of
+// `size` tuples at the current time (Transform output entering the cache).
+// The size is data-independent (always the padded maximum), which is why it
+// is safe to reveal.
+func (r *Runtime) ObserveBatch(size int, label string) {
+	ev := Event{Kind: EvBatchObserved, Time: r.now, Size: size, Label: label}
+	r.S0.Transcript.Append(ev)
+	r.S1.Transcript.Append(ev)
+}
+
+// ObserveFetch records a DP-sized synchronization of `size` tuples from the
+// cache to the materialized view. This is the only data-dependent scalar in
+// the servers' views; the DP analysis covers exactly this field.
+func (r *Runtime) ObserveFetch(size int, label string) {
+	ev := Event{Kind: EvFetchObserved, Time: r.now, Size: size, Label: label}
+	r.S0.Transcript.Append(ev)
+	r.S1.Transcript.Append(ev)
+}
+
+// ObserveFlush records a fixed-size cache flush.
+func (r *Runtime) ObserveFlush(size int, label string) {
+	ev := Event{Kind: EvFlushObserved, Time: r.now, Size: size, Label: label}
+	r.S0.Transcript.Append(ev)
+	r.S1.Transcript.Append(ev)
+}
+
+// laplaceFromWords duplicates dp.LaplaceFromWords to avoid an import cycle
+// (internal/dp is independent of the MPC layer). The formula must stay in
+// sync with the dp package; the cross-check lives in runtime_test.go.
+func laplaceFromWords(scale float64, zr, zs uint32) float64 {
+	const denom = float64(1 << 32)
+	r := (float64(zr) + 0.5) / denom
+	sign := 1.0
+	if zs&0x80000000 != 0 {
+		sign = -1
+	}
+	return -scale * math.Log(r) * sign
+}

@@ -1,0 +1,148 @@
+package mpc
+
+import "math/rand"
+
+// PublicParams are the quantities Theorem 7 assumes publicly available when
+// constructing the simulator of Table 1: the privacy parameter, the owners'
+// block sizes, the contribution bound, the cache maintenance parameters and
+// the update interval. Everything here is configuration, independent of the
+// data.
+type PublicParams struct {
+	// UploadEvery is the owners' public upload schedule.
+	UploadEvery int
+	// BatchSize is the public padded size of each Transform output batch.
+	BatchSize int
+	// T is the sDPTimer update interval.
+	T int
+	// Spill is the fixed per-update spill size (0 = disabled).
+	Spill int
+	// Steps is the horizon to simulate.
+	Steps int
+}
+
+// SimulateTimer is the simulator S of Table 1 for the sDPTimer deployment:
+// given only the public parameters and the outputs of the DP mechanism
+// M_timer — the noisy fetch sizes {(t, v_t)} — it emits a transcript whose
+// structure matches a real protocol execution event for event, with every
+// share and random contribution drawn uniformly at random.
+//
+// Theorem 7's claim is that this transcript is computationally
+// indistinguishable from a real server's view; the leakage regression test
+// in internal/core checks the structural half exactly (same event kinds,
+// times, sizes and labels) and the distributional half statistically
+// (uniform share values on both sides).
+func SimulateTimer(pp PublicParams, fetches map[int]int, party PartyID, seed int64) *Transcript {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Transcript{Party: party}
+
+	reshareCounter := func(t int) {
+		tr.Append(Event{Kind: EvRandomContributed, Time: t, Share: rng.Uint32(), Label: "reshare:c"})
+		tr.Append(Event{Kind: EvShareReceived, Time: t, Share: rng.Uint32(), Label: "c"})
+	}
+
+	// Framework construction: the counter is shared once before time starts.
+	reshareCounter(0)
+
+	for t := 0; t < pp.Steps; t++ {
+		// Transform runs on the owners' public schedule: counter re-share
+		// followed by the exhaustively padded batch entering the cache.
+		if (t+1)%pp.UploadEvery == 0 {
+			reshareCounter(t)
+			tr.Append(Event{Kind: EvBatchObserved, Time: t, Size: pp.BatchSize, Label: "transform"})
+		}
+		// sDPTimer fires at multiples of T: joint noise contributions, the
+		// fixed-size spill, the DP-sized fetch, and the counter reset.
+		if t > 0 && pp.T > 0 && t%pp.T == 0 {
+			tr.Append(Event{Kind: EvRandomContributed, Time: t, Share: rng.Uint32(), Label: "noise:mag"})
+			tr.Append(Event{Kind: EvRandomContributed, Time: t, Share: rng.Uint32(), Label: "noise:sign"})
+			if pp.Spill > 0 {
+				tr.Append(Event{Kind: EvFlushObserved, Time: t, Size: pp.Spill, Label: "spill"})
+			}
+			tr.Append(Event{Kind: EvFetchObserved, Time: t, Size: fetches[t], Label: "shrink"})
+			reshareCounter(t)
+		}
+	}
+	return tr
+}
+
+// ANTOutput is one element of the M_ant mechanism's output stream: the
+// update time and the released noisy cardinality. Between updates the
+// mechanism outputs nothing (the per-step SVT check itself emits only the
+// parties' own random contributions).
+type ANTOutput struct {
+	Time int
+	Size int
+}
+
+// SimulateANT is the Theorem-8 simulator: it reproduces a server's view of
+// an sDPANT deployment from the public parameters and the M_ant outputs —
+// the update times and released sizes. Per Theorem 8's modification of
+// Table 1, the simulator additionally emits one random value per update to
+// stand in for the refreshed noisy-threshold share.
+func SimulateANT(pp PublicParams, updates []ANTOutput, party PartyID, seed int64) *Transcript {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Transcript{Party: party}
+
+	random := func(t int, label string) {
+		tr.Append(Event{Kind: EvRandomContributed, Time: t, Share: rng.Uint32(), Label: label})
+	}
+	share := func(t int, label string) {
+		tr.Append(Event{Kind: EvShareReceived, Time: t, Share: rng.Uint32(), Label: label})
+	}
+	reshare := func(t int, key string) {
+		random(t, "reshare:"+key)
+		share(t, key)
+	}
+	noise := func(t int) {
+		random(t, "noise:mag")
+		random(t, "noise:sign")
+	}
+
+	// Construction: counter share, initial noisy threshold (joint noise +
+	// threshold share).
+	reshare(0, "c")
+	noise(0)
+	reshare(0, "theta")
+
+	next := 0
+	for t := 0; t < pp.Steps; t++ {
+		if (t+1)%pp.UploadEvery == 0 {
+			reshare(t, "c")
+			tr.Append(Event{Kind: EvBatchObserved, Time: t, Size: pp.BatchSize, Label: "transform"})
+		}
+		// The SVT condition check draws joint noise every step.
+		noise(t)
+		if next < len(updates) && updates[next].Time == t {
+			noise(t) // the release noise
+			if pp.Spill > 0 {
+				tr.Append(Event{Kind: EvFlushObserved, Time: t, Size: pp.Spill, Label: "spill"})
+			}
+			tr.Append(Event{Kind: EvFetchObserved, Time: t, Size: updates[next].Size, Label: "shrink"})
+			noise(t) // the refreshed threshold's noise
+			reshare(t, "theta")
+			reshare(t, "c")
+			next++
+		}
+	}
+	return tr
+}
+
+// StructurallyEqual compares two transcripts on everything except the share
+// values (which are uniform in both the real execution and the simulation):
+// event kinds, logical times, public sizes and labels must agree exactly.
+func StructurallyEqual(a, b *Transcript) (bool, int) {
+	if len(a.Events) != len(b.Events) {
+		n := len(a.Events)
+		if len(b.Events) < n {
+			n = len(b.Events)
+		}
+		return false, n
+	}
+	for i := range a.Events {
+		x, y := a.Events[i], b.Events[i]
+		if x.Kind != y.Kind || x.Time != y.Time || x.Size != y.Size || x.Label != y.Label {
+			return false, i
+		}
+	}
+	return true, -1
+}

@@ -1,0 +1,90 @@
+package mpc
+
+import "testing"
+
+func TestSimulateTimerStructure(t *testing.T) {
+	pp := PublicParams{UploadEvery: 1, BatchSize: 8, T: 5, Spill: 3, Steps: 20}
+	fetches := map[int]int{5: 12, 10: 9, 15: 20}
+	tr := SimulateTimer(pp, fetches, Server0, 1)
+
+	// One initial counter re-share, then per step: re-share + batch, plus
+	// the update pattern at t = 5, 10, 15.
+	batches := tr.SizesOf(EvBatchObserved)
+	if len(batches) != 20 {
+		t.Fatalf("%d batches, want 20", len(batches))
+	}
+	for _, b := range batches {
+		if b != 8 {
+			t.Fatalf("batch size %d, want 8", b)
+		}
+	}
+	fetchesSeen := tr.SizesOf(EvFetchObserved)
+	if len(fetchesSeen) != 3 {
+		t.Fatalf("%d fetches, want 3", len(fetchesSeen))
+	}
+	if fetchesSeen[0] != 12 || fetchesSeen[1] != 9 || fetchesSeen[2] != 20 {
+		t.Errorf("fetch sizes %v", fetchesSeen)
+	}
+	spills := tr.SizesOf(EvFlushObserved)
+	if len(spills) != 3 || spills[0] != 3 {
+		t.Errorf("spills %v, want three of size 3", spills)
+	}
+}
+
+func TestSimulateTimerNoSpill(t *testing.T) {
+	pp := PublicParams{UploadEvery: 2, BatchSize: 4, T: 4, Spill: 0, Steps: 8}
+	tr := SimulateTimer(pp, map[int]int{4: 1}, Server1, 2)
+	if len(tr.SizesOf(EvFlushObserved)) != 0 {
+		t.Error("spill disabled but flush events emitted")
+	}
+	if len(tr.SizesOf(EvBatchObserved)) != 4 { // steps 1,3,5,7
+		t.Errorf("batches %v", tr.SizesOf(EvBatchObserved))
+	}
+}
+
+func TestStructurallyEqual(t *testing.T) {
+	pp := PublicParams{UploadEvery: 1, BatchSize: 8, T: 5, Spill: 3, Steps: 20}
+	fetches := map[int]int{5: 12, 10: 9, 15: 20}
+	a := SimulateTimer(pp, fetches, Server0, 1)
+	b := SimulateTimer(pp, fetches, Server0, 99) // different randomness
+	if ok, _ := StructurallyEqual(a, b); !ok {
+		t.Error("same structure with different shares reported unequal")
+	}
+	// Different fetch values diverge.
+	fetches[10] = 10
+	c := SimulateTimer(pp, fetches, Server0, 1)
+	if ok, at := StructurallyEqual(a, c); ok || at < 0 {
+		t.Error("diverging fetch sizes reported equal")
+	}
+	// Different lengths diverge.
+	pp.Steps = 19
+	d := SimulateTimer(pp, fetches, Server0, 1)
+	if ok, _ := StructurallyEqual(a, d); ok {
+		t.Error("different lengths reported equal")
+	}
+}
+
+func TestSimulateANTStructure(t *testing.T) {
+	pp := PublicParams{UploadEvery: 1, BatchSize: 8, Spill: 2, Steps: 12}
+	updates := []ANTOutput{{Time: 3, Size: 7}, {Time: 9, Size: 11}}
+	tr := SimulateANT(pp, updates, Server0, 3)
+	fetches := tr.SizesOf(EvFetchObserved)
+	if len(fetches) != 2 || fetches[0] != 7 || fetches[1] != 11 {
+		t.Errorf("fetches %v", fetches)
+	}
+	if len(tr.SizesOf(EvBatchObserved)) != 12 {
+		t.Errorf("batches %v", tr.SizesOf(EvBatchObserved))
+	}
+	// Two noise words per step (SVT check) plus extra on updates: count the
+	// random contributions labelled noise:mag.
+	mags := 0
+	for _, ev := range tr.Events {
+		if ev.Kind == EvRandomContributed && ev.Label == "noise:mag" {
+			mags++
+		}
+	}
+	// 1 initial threshold + 12 checks + 2 updates x 2 extra draws.
+	if mags != 1+12+4 {
+		t.Errorf("noise:mag draws = %d, want 17", mags)
+	}
+}

@@ -1,0 +1,142 @@
+package oblivious
+
+import (
+	"math/rand"
+	"testing"
+
+	"incshrink/internal/mpc"
+	"incshrink/internal/table"
+)
+
+func TestTightCompactBasic(t *testing.T) {
+	es := []Entry{
+		Dummy(2),
+		{Row: table.Row{1, 0}, IsView: true, Left: 10, Right: 20},
+		Dummy(2),
+		{Row: table.Row{2, 0}, IsView: true, Left: 11, Right: 21},
+	}
+	m := mpc.NewMeter(mpc.DefaultCostModel())
+	out, overflow := TightCompact(es, 3, m, mpc.OpTransform, 128)
+	if len(out) != 3 {
+		t.Fatalf("output length %d, want cap 3", len(out))
+	}
+	if CountReal(out) != 2 {
+		t.Errorf("output real count %d, want 2", CountReal(out))
+	}
+	if len(overflow) != 0 {
+		t.Errorf("unexpected overflow %v", overflow)
+	}
+	// Charged two linear passes.
+	if want := float64(2*4) * 128 * m.Model().ANDGatesPerScanBit; m.Gates(mpc.OpTransform) != want {
+		t.Errorf("charged %v gates, want %v", m.Gates(mpc.OpTransform), want)
+	}
+}
+
+func TestTightCompactOverflow(t *testing.T) {
+	es := make([]Entry, 6)
+	for i := range es {
+		es[i] = Entry{Row: table.Row{int64(i)}, IsView: true}
+	}
+	out, overflow := TightCompact(es, 4, nil, mpc.OpTransform, 64)
+	if len(out) != 4 || CountReal(out) != 4 {
+		t.Errorf("out: %d slots %d real", len(out), CountReal(out))
+	}
+	if len(overflow) != 2 {
+		t.Fatalf("overflow %d, want 2", len(overflow))
+	}
+	for _, e := range overflow {
+		if !e.IsView {
+			t.Error("overflow carries dummies")
+		}
+	}
+}
+
+func TestTightCompactEdgeCases(t *testing.T) {
+	// Negative cap clamps to zero; everything real overflows.
+	es := []Entry{{Row: table.Row{1}, IsView: true}}
+	out, overflow := TightCompact(es, -1, nil, mpc.OpTransform, 64)
+	if len(out) != 0 || len(overflow) != 1 {
+		t.Errorf("negative cap: out=%d overflow=%d", len(out), len(overflow))
+	}
+	// Empty input pads to cap with dummies of zero arity.
+	out, overflow = TightCompact(nil, 2, nil, mpc.OpTransform, 64)
+	if len(out) != 2 || len(overflow) != 0 || CountReal(out) != 0 {
+		t.Errorf("empty input: out=%d overflow=%d", len(out), len(overflow))
+	}
+}
+
+func TestTightCompactPreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		es := randEntries(rng, 40)
+		orig := RealRows(es)
+		cap := rng.Intn(50)
+		out, overflow := TightCompact(es, cap, nil, mpc.OpTransform, 64)
+		combined := append(RealRows(out), RealRows(overflow)...)
+		if !table.MultisetEqual(combined, orig) {
+			t.Fatalf("trial %d: compaction changed the real multiset", trial)
+		}
+		if len(out) != cap {
+			t.Fatalf("trial %d: out length %d != cap %d", trial, len(out), cap)
+		}
+	}
+}
+
+func TestByColumnOrdering(t *testing.T) {
+	real := func(key, tag int64) Entry { return Entry{Row: table.Row{key, tag}, IsView: true} }
+	less := ByColumn(0, 1)
+	// Dummies sink regardless of payload.
+	if !less(real(9, 0), Dummy(2)) {
+		t.Error("real must order before dummy")
+	}
+	if less(Dummy(2), real(0, 0)) {
+		t.Error("dummy must not order before real")
+	}
+	if less(Dummy(2), Dummy(2)) {
+		t.Error("dummy-dummy must not swap")
+	}
+	// Key ordering, then tag tie-break.
+	if !less(real(1, 1), real(2, 0)) {
+		t.Error("key order wrong")
+	}
+	if !less(real(1, 0), real(1, 1)) {
+		t.Error("tag tie-break wrong")
+	}
+	if less(real(1, 1), real(1, 1)) {
+		t.Error("equal entries must not swap")
+	}
+}
+
+func TestSortedByIsViewDetectsViolations(t *testing.T) {
+	good := []Entry{{IsView: true}, {IsView: true}, {}, {}}
+	if !SortedByIsView(good) {
+		t.Error("sorted array reported unsorted")
+	}
+	bad := []Entry{{IsView: true}, {}, {IsView: true}}
+	if SortedByIsView(bad) {
+		t.Error("unsorted array reported sorted")
+	}
+	if !SortedByIsView(nil) {
+		t.Error("empty array should count as sorted")
+	}
+}
+
+func TestNLJEmptyInner(t *testing.T) {
+	t1 := []Record{{ID: 1, Row: table.Row{1, 0}}}
+	out := TruncatedNestedLoopJoin(t1, nil, 0, 0, nil, 3, nil, mpc.OpTransform)
+	if len(out) != 3 {
+		t.Fatalf("empty-inner NLJ output %d, want bound*|T1| = 3", len(out))
+	}
+	if CountReal(out) != 0 {
+		t.Error("joins materialized from an empty inner relation")
+	}
+}
+
+func TestRecArityEmpty(t *testing.T) {
+	if recArity(nil) != 0 {
+		t.Error("empty record slice arity wrong")
+	}
+	if recArity([]Record{{Row: table.Row{1, 2, 3}}}) != 3 {
+		t.Error("arity wrong")
+	}
+}

@@ -1,0 +1,423 @@
+package oblivious
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"incshrink/internal/mpc"
+	"incshrink/internal/table"
+)
+
+func newMeter() *mpc.Meter { return mpc.NewMeter(mpc.DefaultCostModel()) }
+
+func randEntries(rng *rand.Rand, n int) []Entry {
+	es := make([]Entry, n)
+	for i := range es {
+		es[i] = Entry{Row: table.Row{int64(rng.Intn(100)), int64(i)}, IsView: rng.Intn(2) == 0}
+	}
+	return es
+}
+
+func TestSortCorrectnessAllSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	less := func(a, b Entry) bool { return a.Row[0] < b.Row[0] }
+	for n := 0; n <= 65; n++ {
+		es := randEntries(rng, n)
+		Sort(es, less, nil, mpc.OpOther, 64)
+		for i := 1; i < len(es); i++ {
+			if es[i].Row[0] < es[i-1].Row[0] {
+				t.Fatalf("n=%d: not sorted at %d: %v > %v", n, i, es[i-1].Row[0], es[i].Row[0])
+			}
+		}
+	}
+}
+
+func TestSortMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		es := randEntries(rng, n)
+		want := make([]int64, n)
+		for i, e := range es {
+			want[i] = e.Row[0]
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		Sort(es, func(a, b Entry) bool { return a.Row[0] < b.Row[0] }, nil, mpc.OpOther, 64)
+		for i := range es {
+			if es[i].Row[0] != want[i] {
+				t.Fatalf("trial %d: position %d = %d want %d", trial, i, es[i].Row[0], want[i])
+			}
+		}
+	}
+}
+
+// TestSortDataIndependence: the number of comparator evaluations must depend
+// only on the input length, never on the values — the defining property of
+// an oblivious sort.
+func TestSortDataIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{5, 16, 33, 100} {
+		counts := make(map[int]bool)
+		for trial := 0; trial < 10; trial++ {
+			es := randEntries(rng, n)
+			calls := 0
+			Sort(es, func(a, b Entry) bool { calls++; return a.Row[0] < b.Row[0] }, nil, mpc.OpOther, 64)
+			counts[calls] = true
+		}
+		if len(counts) != 1 {
+			t.Errorf("n=%d: comparator count varies across inputs: %v", n, counts)
+		}
+	}
+}
+
+func TestSortChargesPaddedNetwork(t *testing.T) {
+	m := newMeter()
+	es := randEntries(rand.New(rand.NewSource(4)), 8)
+	Sort(es, ByIsViewFirst, m, mpc.OpShrink, 128)
+	want := float64(mpc.SortCompareExchanges(8)) * 128 * m.Model().ANDGatesPerCompareExchangeBit
+	if got := m.Gates(mpc.OpShrink); got != want {
+		t.Errorf("charged %v gates, want %v", got, want)
+	}
+	// Tiny inputs charge nothing.
+	m.Reset()
+	Sort(es[:1], ByIsViewFirst, m, mpc.OpShrink, 128)
+	if m.TotalGates() != 0 {
+		t.Error("n=1 sort should be free")
+	}
+}
+
+func TestByIsViewFirstOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		es := randEntries(rng, 50)
+		real := CountReal(es)
+		Sort(es, ByIsViewFirst, nil, mpc.OpOther, 64)
+		if !SortedByIsView(es) {
+			t.Fatal("reals not all ahead of dummies")
+		}
+		if CountReal(es) != real {
+			t.Fatal("sort changed the number of real entries")
+		}
+	}
+}
+
+func TestCompactFetchesRealFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	es := randEntries(rng, 40)
+	real := CountReal(es)
+	fetched, rest := Compact(es, real, newMeter(), mpc.OpShrink, 64)
+	if len(fetched) != real || CountReal(fetched) != real {
+		t.Errorf("fetched %d entries with %d real, want all %d real", len(fetched), CountReal(fetched), real)
+	}
+	if CountReal(rest) != 0 {
+		t.Errorf("rest still holds %d real entries", CountReal(rest))
+	}
+	if len(fetched)+len(rest) != 40 {
+		t.Error("compact lost entries")
+	}
+}
+
+func TestCompactClamping(t *testing.T) {
+	es := randEntries(rand.New(rand.NewSource(7)), 10)
+	fetched, rest := Compact(es, -5, nil, mpc.OpOther, 64)
+	if len(fetched) != 0 || len(rest) != 10 {
+		t.Error("negative keep should clamp to 0")
+	}
+	fetched, rest = Compact(es, 99, nil, mpc.OpOther, 64)
+	if len(fetched) != 10 || len(rest) != 0 {
+		t.Error("oversized keep should clamp to len")
+	}
+}
+
+func TestCompactPartialFetchKeepsRealPriority(t *testing.T) {
+	// Fewer slots than real entries: everything fetched must be real.
+	es := make([]Entry, 20)
+	for i := range es {
+		es[i] = Entry{Row: table.Row{int64(i)}, IsView: i%2 == 0} // 10 real
+	}
+	fetched, rest := Compact(es, 4, nil, mpc.OpOther, 64)
+	if CountReal(fetched) != 4 {
+		t.Errorf("fetched %d real, want 4", CountReal(fetched))
+	}
+	if CountReal(rest) != 6 {
+		t.Errorf("rest has %d real, want 6", CountReal(rest))
+	}
+}
+
+func mkRecordsBase(rows []table.Row, base int64) []Record {
+	rs := make([]Record, len(rows))
+	for i, r := range rows {
+		rs[i] = Record{ID: base + int64(i), Row: r}
+	}
+	return rs
+}
+
+func mkRecords(rows []table.Row) []Record { return mkRecordsBase(rows, 1000) }
+
+func TestSMJMatchesHashJoinWithLargeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n1, n2 := rng.Intn(30)+1, rng.Intn(30)+1
+		rows1 := make([]table.Row, n1)
+		rows2 := make([]table.Row, n2)
+		for i := range rows1 {
+			rows1[i] = table.Row{int64(rng.Intn(8)), int64(i)}
+		}
+		for i := range rows2 {
+			rows2[i] = table.Row{int64(rng.Intn(8)), int64(100 + i)}
+		}
+		want := table.HashJoin(rows1, rows2, 0, 0)
+		got := TruncatedSortMergeJoin(mkRecords(rows1), mkRecords(rows2), 0, 0, nil, 1000, nil, mpc.OpTransform)
+		if len(got) != 1000*(n1+n2) {
+			t.Fatalf("padded output size %d, want %d", len(got), 1000*(n1+n2))
+		}
+		if !table.MultisetEqual(RealRows(got), want) {
+			t.Fatalf("trial %d: SMJ real rows differ from hash join (%d vs %d)", trial, len(RealRows(got)), len(want))
+		}
+	}
+}
+
+func TestSMJOutputSizeDataIndependent(t *testing.T) {
+	// Two inputs of identical sizes but totally different join selectivity
+	// must produce identical output lengths.
+	all := make([]table.Row, 10)
+	none := make([]table.Row, 10)
+	for i := range all {
+		all[i] = table.Row{1, int64(i)}       // everything joins
+		none[i] = table.Row{int64(i + 50), 0} // nothing joins
+	}
+	right := []table.Row{{1, 7}}
+	a := TruncatedSortMergeJoin(mkRecords(all), mkRecords(right), 0, 0, nil, 3, nil, mpc.OpTransform)
+	b := TruncatedSortMergeJoin(mkRecords(none), mkRecords(right), 0, 0, nil, 3, nil, mpc.OpTransform)
+	if len(a) != len(b) {
+		t.Errorf("output sizes %d vs %d differ with join selectivity", len(a), len(b))
+	}
+	if len(a) != 3*11 {
+		t.Errorf("output size %d, want %d", len(a), 3*11)
+	}
+}
+
+func TestSMJTruncationBoundsContribution(t *testing.T) {
+	// One hot key on the left joining 20 right rows with bound 4: the left
+	// record may contribute at most 4 entries and each right record at most
+	// 4 (trivially 1 here).
+	left := []table.Row{{5, 0}}
+	right := make([]table.Row, 20)
+	for i := range right {
+		right[i] = table.Row{5, int64(i)}
+	}
+	got := TruncatedSortMergeJoin(mkRecords(left), mkRecords(right), 0, 0, nil, 4, nil, mpc.OpTransform)
+	real := RealRows(got)
+	if len(real) != 4 {
+		t.Errorf("hot record produced %d entries, want truncation to 4", len(real))
+	}
+}
+
+func TestSMJPerRecordContributionNeverExceedsBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		bound := rng.Intn(4) + 1
+		rows1 := make([]table.Row, 25)
+		rows2 := make([]table.Row, 25)
+		for i := range rows1 {
+			rows1[i] = table.Row{int64(rng.Intn(4)), int64(i)}
+			rows2[i] = table.Row{int64(rng.Intn(4)), int64(i)}
+		}
+		got := TruncatedSortMergeJoin(mkRecordsBase(rows1, 1000), mkRecordsBase(rows2, 2000), 0, 0, nil, bound, nil, mpc.OpTransform)
+		perRecord := make(map[int64]int)
+		for _, e := range got {
+			if e.IsView {
+				perRecord[e.Left]++
+				perRecord[e.Right]++
+			}
+		}
+		for id, c := range perRecord {
+			if c > bound {
+				t.Fatalf("bound=%d: record %d contributed %d entries", bound, id, c)
+			}
+		}
+	}
+}
+
+// TestSMJStability verifies Eq. 3: removing any single input record changes
+// the real output by at most `bound` rows.
+func TestSMJStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	bound := 3
+	rows1 := make([]table.Row, 12)
+	rows2 := make([]table.Row, 12)
+	for i := range rows1 {
+		rows1[i] = table.Row{int64(rng.Intn(3)), int64(i)}
+		rows2[i] = table.Row{int64(rng.Intn(3)), int64(i)}
+	}
+	full := len(RealRows(TruncatedSortMergeJoin(mkRecords(rows1), mkRecords(rows2), 0, 0, nil, bound, nil, mpc.OpTransform)))
+	for drop := 0; drop < len(rows2); drop++ {
+		reduced := make([]table.Row, 0, len(rows2)-1)
+		reduced = append(reduced, rows2[:drop]...)
+		reduced = append(reduced, rows2[drop+1:]...)
+		n := len(RealRows(TruncatedSortMergeJoin(mkRecords(rows1), mkRecords(reduced), 0, 0, nil, bound, nil, mpc.OpTransform)))
+		diff := full - n
+		if diff < -bound || diff > bound {
+			t.Fatalf("dropping record %d changed output by %d > bound %d", drop, diff, bound)
+		}
+	}
+}
+
+func TestSMJMatchPredicate(t *testing.T) {
+	// Temporal join: only within-10 matches survive (the Q1 shape).
+	sales := []table.Row{{1, 100}, {2, 100}}
+	rets := []table.Row{{1, 105}, {2, 150}}
+	within10 := func(l, r Record) bool { d := r.Row[1] - l.Row[1]; return d >= 0 && d <= 10 }
+	got := RealRows(TruncatedSortMergeJoin(mkRecords(sales), mkRecords(rets), 0, 0, within10, 5, nil, mpc.OpTransform))
+	if len(got) != 1 {
+		t.Fatalf("temporal join produced %d rows, want 1", len(got))
+	}
+	if got[0][0] != 1 {
+		t.Errorf("wrong pair joined: %v", got[0])
+	}
+}
+
+func TestSMJBoundClamped(t *testing.T) {
+	got := TruncatedSortMergeJoin(mkRecords([]table.Row{{1, 0}}), mkRecords([]table.Row{{1, 0}}), 0, 0, nil, 0, nil, mpc.OpTransform)
+	if len(got) != 2 { // bound clamps to 1, output = 1*(1+1)
+		t.Errorf("output size %d with clamped bound, want 2", len(got))
+	}
+}
+
+func TestSMJChargesCosts(t *testing.T) {
+	m := newMeter()
+	rows := []table.Row{{1, 0}, {2, 0}, {3, 0}}
+	TruncatedSortMergeJoin(mkRecords(rows), mkRecords(rows), 0, 0, nil, 2, m, mpc.OpTransform)
+	if m.Gates(mpc.OpTransform) <= 0 {
+		t.Error("SMJ charged no gates")
+	}
+}
+
+func TestNLJMatchesHashJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		rows1 := make([]table.Row, 10)
+		rows2 := make([]table.Row, 10)
+		for i := range rows1 {
+			rows1[i] = table.Row{int64(rng.Intn(5)), int64(i)}
+			rows2[i] = table.Row{int64(rng.Intn(5)), int64(i)}
+		}
+		want := table.HashJoin(rows1, rows2, 0, 0)
+		got := TruncatedNestedLoopJoin(mkRecords(rows1), mkRecords(rows2), 0, 0, nil, 1000, nil, mpc.OpTransform)
+		if !table.MultisetEqual(RealRows(got), want) {
+			t.Fatalf("trial %d: NLJ differs from hash join", trial)
+		}
+		if len(got) != 1000*len(rows1) {
+			t.Fatalf("NLJ output size %d, want %d", len(got), 1000*len(rows1))
+		}
+	}
+}
+
+func TestNLJBudgetConsumption(t *testing.T) {
+	// Outer tuple with budget `bound` joining many inner rows: at most bound
+	// join entries total (Alg 4:6-9).
+	left := []table.Row{{5, 0}}
+	right := make([]table.Row, 10)
+	for i := range right {
+		right[i] = table.Row{5, int64(i)}
+	}
+	got := TruncatedNestedLoopJoin(mkRecords(left), mkRecords(right), 0, 0, nil, 3, nil, mpc.OpTransform)
+	if real := len(RealRows(got)); real != 3 {
+		t.Errorf("budget-3 outer produced %d joins", real)
+	}
+	if len(got) != 3 {
+		t.Errorf("output size %d, want bound*|T1| = 3", len(got))
+	}
+}
+
+func TestNLJAgainstSMJ(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	rows1 := make([]table.Row, 8)
+	rows2 := make([]table.Row, 8)
+	for i := range rows1 {
+		rows1[i] = table.Row{int64(rng.Intn(4)), int64(i)}
+		rows2[i] = table.Row{int64(rng.Intn(4)), int64(i)}
+	}
+	// With a bound at least the max multiplicity both joins are untruncated
+	// and must agree with each other.
+	a := RealRows(TruncatedSortMergeJoin(mkRecords(rows1), mkRecords(rows2), 0, 0, nil, 100, nil, mpc.OpTransform))
+	b := RealRows(TruncatedNestedLoopJoin(mkRecords(rows1), mkRecords(rows2), 0, 0, nil, 100, nil, mpc.OpTransform))
+	if !table.MultisetEqual(a, b) {
+		t.Error("SMJ and NLJ disagree at large bound")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	es := []Entry{
+		{Row: table.Row{1}, IsView: true},
+		{Row: table.Row{2}, IsView: true},
+		{Row: table.Row{3}, IsView: false},
+	}
+	m := newMeter()
+	out := Select(es, func(r table.Row) bool { return r[0]%2 == 1 }, m, mpc.OpQuery)
+	if len(out) != 3 {
+		t.Fatalf("selection changed array length to %d", len(out))
+	}
+	if !out[0].IsView || out[1].IsView || out[2].IsView {
+		t.Errorf("isView bits wrong: %v %v %v", out[0].IsView, out[1].IsView, out[2].IsView)
+	}
+	if m.Gates(mpc.OpQuery) <= 0 {
+		t.Error("selection charged nothing")
+	}
+	// Input must be unmodified.
+	if !es[1].IsView {
+		t.Error("Select mutated its input")
+	}
+}
+
+func TestCount(t *testing.T) {
+	es := []Entry{
+		{Row: table.Row{1}, IsView: true},
+		{Row: table.Row{1}, IsView: false}, // dummy never counts
+		{Row: table.Row{2}, IsView: true},
+	}
+	m := newMeter()
+	if got := Count(es, func(r table.Row) bool { return r[0] == 1 }, m, mpc.OpQuery); got != 1 {
+		t.Errorf("Count = %d want 1", got)
+	}
+	if m.Gates(mpc.OpQuery) <= 0 {
+		t.Error("count charged nothing")
+	}
+	if Count(nil, func(table.Row) bool { return true }, nil, mpc.OpQuery) != 0 {
+		t.Error("empty count wrong")
+	}
+}
+
+func TestDummyShape(t *testing.T) {
+	d := Dummy(4)
+	if d.IsView || len(d.Row) != 4 || d.Left != -1 || d.Right != -1 {
+		t.Errorf("Dummy(4) = %+v", d)
+	}
+}
+
+func BenchmarkSort1K(b *testing.B) {
+	rng := rand.New(rand.NewSource(99))
+	base := randEntries(rng, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		es := make([]Entry, len(base))
+		copy(es, base)
+		Sort(es, ByIsViewFirst, nil, mpc.OpOther, 64)
+	}
+}
+
+func BenchmarkSMJ128(b *testing.B) {
+	rng := rand.New(rand.NewSource(100))
+	rows1 := make([]table.Row, 128)
+	rows2 := make([]table.Row, 128)
+	for i := range rows1 {
+		rows1[i] = table.Row{int64(rng.Intn(32)), int64(i)}
+		rows2[i] = table.Row{int64(rng.Intn(32)), int64(i)}
+	}
+	r1, r2 := mkRecords(rows1), mkRecords(rows2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = TruncatedSortMergeJoin(r1, r2, 0, 0, nil, 4, nil, mpc.OpTransform)
+	}
+}

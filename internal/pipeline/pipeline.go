@@ -1,0 +1,260 @@
+// Package pipeline implements the Section 8 extension "Support for complex
+// query workloads": a query is disassembled into a chain of relational
+// operators, each running its own Transform-and-Shrink instance whose output
+// feeds the next level. The package also implements the operator-efficiency
+// definitions (Definitions 6-8) and the privacy-budget allocation problem of
+// Eq. 15 — choosing per-operator epsilons that maximize query efficiency
+// subject to the total budget and logical-gap constraints.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"incshrink/internal/dp"
+	"incshrink/internal/mpc"
+	"incshrink/internal/oblivious"
+	"incshrink/internal/securearray"
+	"incshrink/internal/table"
+)
+
+// FilterEfficiency is Definition 6: 1 - dummies/input for a Filter operator.
+func FilterEfficiency(inputSize, dummies int) (float64, error) {
+	if inputSize <= 0 {
+		return 0, fmt.Errorf("pipeline: input size must be positive, got %d", inputSize)
+	}
+	if dummies < 0 || dummies > inputSize {
+		return 0, fmt.Errorf("pipeline: dummy count %d out of [0, %d]", dummies, inputSize)
+	}
+	return 1 - float64(dummies)/float64(inputSize), nil
+}
+
+// JoinEfficiency is Definition 7: 1 - (Y1+Y2)/(n1+n2) for a Join operator.
+func JoinEfficiency(n1, n2, y1, y2 int) (float64, error) {
+	if n1 <= 0 || n2 <= 0 {
+		return 0, fmt.Errorf("pipeline: input sizes must be positive, got %d and %d", n1, n2)
+	}
+	if y1 < 0 || y2 < 0 || y1 > n1 || y2 > n2 {
+		return 0, fmt.Errorf("pipeline: dummy counts (%d,%d) out of range", y1, y2)
+	}
+	return 1 - float64(y1+y2)/float64(n1+n2), nil
+}
+
+// OperatorSpec describes one operator for the budget-allocation problem: its
+// weight in the query-efficiency objective (|O_i|/|O_total| of Definition 8)
+// and its dummy-load coefficient — the number of dummy tuples it processes
+// scales as DummyCoeff/epsilon_i (the deferred-data bounds of Theorems 4/6
+// are inversely proportional to epsilon).
+type OperatorSpec struct {
+	Name       string
+	Weight     float64
+	InputSize  int
+	DummyCoeff float64
+}
+
+// QueryEfficiency is Definition 8: the weighted sum of operator efficiencies
+// under a given per-operator epsilon allocation.
+func QueryEfficiency(ops []OperatorSpec, eps []float64) (float64, error) {
+	if len(ops) != len(eps) {
+		return 0, fmt.Errorf("pipeline: %d operators but %d allocations", len(ops), len(eps))
+	}
+	total := 0.0
+	for i, op := range ops {
+		if eps[i] <= 0 {
+			return 0, fmt.Errorf("pipeline: operator %s allocated non-positive epsilon %v", op.Name, eps[i])
+		}
+		dummies := op.DummyCoeff / eps[i]
+		if dummies > float64(op.InputSize) {
+			dummies = float64(op.InputSize)
+		}
+		e := 1 - dummies/float64(op.InputSize)
+		total += op.Weight * e
+	}
+	return total, nil
+}
+
+// Allocate solves the Eq. 15 budget allocation. Minimizing
+// sum_i w_i * c_i / (n_i * eps_i) subject to sum eps_i = eps has the
+// water-filling solution eps_i proportional to sqrt(w_i * c_i / n_i)
+// (Cauchy-Schwarz); operators with zero dummy load receive a minimal share.
+func Allocate(ops []OperatorSpec, totalEps float64) ([]float64, error) {
+	if totalEps <= 0 {
+		return nil, errors.New("pipeline: total epsilon must be positive")
+	}
+	if len(ops) == 0 {
+		return nil, errors.New("pipeline: no operators")
+	}
+	weights := make([]float64, len(ops))
+	sum := 0.0
+	for i, op := range ops {
+		if op.InputSize <= 0 || op.Weight < 0 || op.DummyCoeff < 0 {
+			return nil, fmt.Errorf("pipeline: operator %s has invalid spec", op.Name)
+		}
+		weights[i] = math.Sqrt(op.Weight * op.DummyCoeff / float64(op.InputSize))
+		sum += weights[i]
+	}
+	out := make([]float64, len(ops))
+	if sum == 0 {
+		for i := range out {
+			out[i] = totalEps / float64(len(ops))
+		}
+		return out, nil
+	}
+	// Reserve a small floor so zero-coefficient operators stay DP-valid.
+	const floorFrac = 0.01
+	floor := totalEps * floorFrac / float64(len(ops))
+	budget := totalEps - floor*float64(len(ops))
+	for i := range out {
+		out[i] = floor + budget*weights[i]/sum
+	}
+	return out, nil
+}
+
+// AllocateGrid solves the same problem by brute-force grid search, used to
+// validate the closed form. Resolution is the number of grid cells per axis.
+func AllocateGrid(ops []OperatorSpec, totalEps float64, resolution int) ([]float64, error) {
+	if len(ops) != 2 {
+		return nil, errors.New("pipeline: grid search implemented for exactly 2 operators")
+	}
+	if resolution < 2 {
+		return nil, errors.New("pipeline: resolution must be at least 2")
+	}
+	best := []float64{totalEps / 2, totalEps / 2}
+	bestScore := math.Inf(-1)
+	for i := 1; i < resolution; i++ {
+		e1 := totalEps * float64(i) / float64(resolution)
+		alloc := []float64{e1, totalEps - e1}
+		score, err := QueryEfficiency(ops, alloc)
+		if err != nil {
+			return nil, err
+		}
+		if score > bestScore {
+			bestScore = score
+			best = alloc
+		}
+	}
+	return best, nil
+}
+
+// Stage is one level of a multi-level Transform-and-Shrink pipeline: an
+// operator (filter today; the join case is the root IncShrink framework)
+// with its own secure cache, DP-sized synchronization and epsilon share.
+type Stage struct {
+	Name string
+	// Pred is the stage's selection predicate.
+	Pred table.Predicate
+	// Epsilon is the stage's allocated privacy budget.
+	Epsilon float64
+	// Sensitivity is the per-record stability bound feeding this stage.
+	Sensitivity float64
+	// Every is the stage's synchronization interval in ticks.
+	Every int
+
+	cache   *securearray.Cache
+	out     *securearray.View
+	counter int
+	ticks   int
+	rng     dp.RNG
+	meter   *mpc.Meter
+}
+
+// NewStage builds a pipeline stage.
+func NewStage(name string, pred table.Predicate, eps, sensitivity float64, every int, rng dp.RNG, meter *mpc.Meter) (*Stage, error) {
+	if eps <= 0 || sensitivity <= 0 {
+		return nil, fmt.Errorf("pipeline: stage %s needs positive epsilon and sensitivity", name)
+	}
+	if every < 1 {
+		return nil, fmt.Errorf("pipeline: stage %s interval must be positive", name)
+	}
+	if pred == nil {
+		return nil, fmt.Errorf("pipeline: stage %s needs a predicate", name)
+	}
+	return &Stage{
+		Name: name, Pred: pred, Epsilon: eps, Sensitivity: sensitivity, Every: every,
+		cache: securearray.New(256, meter),
+		out:   securearray.NewView(),
+		rng:   rng,
+		meter: meter,
+	}, nil
+}
+
+// Ingest runs the stage's oblivious transform over an incoming padded batch
+// (the upstream stage's synchronized output) and caches the result.
+func (s *Stage) Ingest(batch []oblivious.Entry) {
+	if len(batch) == 0 {
+		return
+	}
+	filtered := oblivious.Select(batch, s.Pred, s.meter, mpc.OpTransform)
+	s.counter += oblivious.CountReal(filtered)
+	s.cache.Append(filtered)
+}
+
+// Tick advances the stage clock; on its schedule it synchronizes a DP-sized
+// batch from its cache into its output and returns that batch (the input to
+// the next stage). Returns nil between synchronizations.
+func (s *Stage) Tick() []oblivious.Entry {
+	s.ticks++
+	if s.ticks%s.Every != 0 {
+		return nil
+	}
+	sz, _ := dp.NoisyCount(s.counter, s.Sensitivity, s.Epsilon, s.rng)
+	if sz > s.cache.Len() {
+		sz = s.cache.Len()
+	}
+	batch := s.cache.Read(sz)
+	s.out.Update(batch)
+	s.counter = 0
+	return batch
+}
+
+// Output exposes the stage's materialized output.
+func (s *Stage) Output() *securearray.View { return s.out }
+
+// Pipeline chains stages: the synchronized output of stage i feeds stage
+// i+1. The total privacy loss is the sum of stage epsilons (sequential
+// composition over the same underlying stream).
+type Pipeline struct {
+	stages []*Stage
+}
+
+// NewPipeline validates and assembles the chain.
+func NewPipeline(stages ...*Stage) (*Pipeline, error) {
+	if len(stages) == 0 {
+		return nil, errors.New("pipeline: need at least one stage")
+	}
+	for _, s := range stages {
+		if s == nil {
+			return nil, errors.New("pipeline: nil stage")
+		}
+	}
+	return &Pipeline{stages: stages}, nil
+}
+
+// Ingest feeds a batch to the first stage.
+func (p *Pipeline) Ingest(batch []oblivious.Entry) { p.stages[0].Ingest(batch) }
+
+// Tick advances every stage, cascading synchronized outputs downstream.
+func (p *Pipeline) Tick() {
+	for i, s := range p.stages {
+		batch := s.Tick()
+		if len(batch) > 0 && i+1 < len(p.stages) {
+			p.stages[i+1].Ingest(batch)
+		}
+	}
+}
+
+// TotalEpsilon returns the pipeline's composed privacy loss.
+func (p *Pipeline) TotalEpsilon() float64 {
+	total := 0.0
+	for _, s := range p.stages {
+		total += s.Epsilon * s.Sensitivity
+	}
+	return total
+}
+
+// Final returns the last stage's output view.
+func (p *Pipeline) Final() *securearray.View { return p.stages[len(p.stages)-1].out }
+
+// Stages returns the chain length.
+func (p *Pipeline) Stages() int { return len(p.stages) }

@@ -1,0 +1,26 @@
+package secretshare
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzShareBytes checks arbitrary payloads survive the share/recover cycle.
+func FuzzShareBytes(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5})
+	rng := NewRand(1)
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		bs, err := ShareBytes(payload, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RecoverBytes(bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round-trip changed payload")
+		}
+	})
+}

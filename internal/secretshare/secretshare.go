@@ -1,0 +1,223 @@
+// Package secretshare implements the XOR-based secret-sharing schemes used
+// by IncShrink's server-aided MPC model.
+//
+// The paper (Section 3) uses (2,2) XOR sharing over the ring Z_{2^32}: a
+// secret x splits into x1 chosen uniformly at random and x2 = x XOR x1.
+// Either share alone is uniformly distributed and carries no information
+// about x; XOR of both recovers it. The package also provides the (k,k)
+// generalization required by the multi-server extension (Section 8) and the
+// in-protocol re-sharing procedure of Appendix A.2, where the randomness is
+// contributed jointly by the participants so that no single party can
+// predict or bias the fresh shares.
+package secretshare
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Word is the ring element type. The paper fixes the ring to Z_{2^32}; XOR
+// arithmetic on uint32 implements it exactly.
+type Word = uint32
+
+// Shares2 is a (2,2) XOR sharing of a single ring element. S0 is held by
+// server 0 and S1 by server 1.
+type Shares2 struct {
+	S0, S1 Word
+}
+
+// RNG is the randomness source interface used throughout the package. It is
+// satisfied by *math/rand.Rand; tests substitute deterministic sources.
+type RNG interface {
+	Uint32() uint32
+}
+
+// Share splits x into a fresh (2,2) XOR sharing using randomness from rng.
+func Share(x Word, rng RNG) Shares2 {
+	r := rng.Uint32()
+	return Shares2{S0: r, S1: x ^ r}
+}
+
+// Recover reconstructs the secret from both shares.
+func Recover(s Shares2) Word {
+	return s.S0 ^ s.S1
+}
+
+// Zero returns a sharing of zero (used to initialize the cardinality counter
+// in Transform, Alg. 1 line 2: (x, x XOR 0)).
+func Zero(rng RNG) Shares2 {
+	return Share(0, rng)
+}
+
+// Add returns a sharing of a XOR b computed locally on each share. XOR
+// sharings are linearly homomorphic under XOR: each server combines its own
+// shares without interaction.
+func Add(a, b Shares2) Shares2 {
+	return Shares2{S0: a.S0 ^ b.S0, S1: a.S1 ^ b.S1}
+}
+
+// VectorShares2 is a (2,2) sharing of a vector of ring elements, stored as
+// two equally long share slices.
+type VectorShares2 struct {
+	S0, S1 []Word
+}
+
+// ShareVector splits each element of xs into a fresh sharing.
+func ShareVector(xs []Word, rng RNG) VectorShares2 {
+	v := VectorShares2{S0: make([]Word, len(xs)), S1: make([]Word, len(xs))}
+	for i, x := range xs {
+		r := rng.Uint32()
+		v.S0[i] = r
+		v.S1[i] = x ^ r
+	}
+	return v
+}
+
+// RecoverVector reconstructs the vector. It returns an error if the share
+// slices have mismatched lengths.
+func RecoverVector(v VectorShares2) ([]Word, error) {
+	if len(v.S0) != len(v.S1) {
+		return nil, fmt.Errorf("secretshare: mismatched share lengths %d and %d", len(v.S0), len(v.S1))
+	}
+	out := make([]Word, len(v.S0))
+	for i := range v.S0 {
+		out[i] = v.S0[i] ^ v.S1[i]
+	}
+	return out, nil
+}
+
+// ErrTooFewParties is returned by the (k,k) scheme for k < 2.
+var ErrTooFewParties = errors.New("secretshare: need at least 2 parties")
+
+// ShareK splits x into a (k,k) XOR sharing: k-1 uniform values plus the XOR
+// correction term. All k shares are required to recover; any k-1 of them are
+// jointly uniform (Appendix A.2).
+func ShareK(x Word, k int, rng RNG) ([]Word, error) {
+	if k < 2 {
+		return nil, ErrTooFewParties
+	}
+	shares := make([]Word, k)
+	acc := x
+	for i := 0; i < k-1; i++ {
+		shares[i] = rng.Uint32()
+		acc ^= shares[i]
+	}
+	shares[k-1] = acc
+	return shares, nil
+}
+
+// RecoverK reconstructs the secret from all k shares.
+func RecoverK(shares []Word) (Word, error) {
+	if len(shares) < 2 {
+		return 0, ErrTooFewParties
+	}
+	var x Word
+	for _, s := range shares {
+		x ^= s
+	}
+	return x, nil
+}
+
+// ReshareInside implements the in-MPC re-sharing of Appendix A.2 for the
+// two-party case: each server contributes a uniformly random value z_i as
+// protocol input; the protocol internally computes shares
+// (c0, c1) = (z0 XOR z1, c XOR z0 XOR z1). Server 0's knowledge of c is then
+// masked by z1 (which it does not know) and symmetrically for server 1. The
+// caller supplies the two contributed values; the secret never leaves the
+// protocol in the clear.
+func ReshareInside(secret Word, z0, z1 Word) Shares2 {
+	mask := z0 ^ z1
+	return Shares2{S0: mask, S1: secret ^ mask}
+}
+
+// ReshareInsideK generalizes ReshareInside to k parties per Appendix A.2:
+// each party i contributes k-1 random words zi[j]; the protocol XOR-combines
+// the j-th contribution of every party into z_j, emits shares
+// (z_1, ..., z_{k-1}, c XOR z_1 XOR ... XOR z_{k-1}) and reveals exactly one
+// share per party.
+func ReshareInsideK(secret Word, contributions [][]Word) ([]Word, error) {
+	k := len(contributions)
+	if k < 2 {
+		return nil, ErrTooFewParties
+	}
+	for i, c := range contributions {
+		if len(c) != k-1 {
+			return nil, fmt.Errorf("secretshare: party %d contributed %d values, want %d", i, len(c), k-1)
+		}
+	}
+	shares := make([]Word, k)
+	var acc Word = secret
+	for j := 0; j < k-1; j++ {
+		var z Word
+		for i := 0; i < k; i++ {
+			z ^= contributions[i][j]
+		}
+		shares[j] = z
+		acc ^= z
+	}
+	shares[k-1] = acc
+	return shares, nil
+}
+
+// ShareBytes secret-shares an arbitrary byte payload by packing it into
+// 32-bit words (little-endian, zero-padded) and sharing each word. The
+// original length is preserved so RecoverBytes can strip the padding. Tuple
+// encodings produced by internal/table travel through the cache in this
+// form.
+func ShareBytes(payload []byte, rng RNG) (BytesShares, error) {
+	words := packWords(payload)
+	v := ShareVector(words, rng)
+	return BytesShares{Vec: v, ByteLen: len(payload)}, nil
+}
+
+// BytesShares is a (2,2) sharing of a byte payload.
+type BytesShares struct {
+	Vec     VectorShares2
+	ByteLen int
+}
+
+// RecoverBytes reconstructs the original payload.
+func RecoverBytes(bs BytesShares) ([]byte, error) {
+	words, err := RecoverVector(bs.Vec)
+	if err != nil {
+		return nil, err
+	}
+	return unpackWords(words, bs.ByteLen)
+}
+
+func packWords(payload []byte) []Word {
+	n := (len(payload) + 3) / 4
+	words := make([]Word, n)
+	var buf [4]byte
+	for i := 0; i < n; i++ {
+		copy(buf[:], payload[i*4:])
+		// zero any tail bytes beyond payload
+		for j := len(payload) - i*4; j < 4; j++ {
+			if j >= 0 {
+				buf[j] = 0
+			}
+		}
+		words[i] = binary.LittleEndian.Uint32(buf[:])
+	}
+	return words
+}
+
+func unpackWords(words []Word, byteLen int) ([]byte, error) {
+	if byteLen < 0 || (byteLen+3)/4 != len(words) {
+		return nil, fmt.Errorf("secretshare: byte length %d inconsistent with %d words", byteLen, len(words))
+	}
+	out := make([]byte, len(words)*4)
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(out[i*4:], w)
+	}
+	return out[:byteLen], nil
+}
+
+// NewRand returns a deterministic RNG seeded with seed. Every randomized
+// component in this repository threads its RNG explicitly so that whole
+// experiments replay bit-for-bit.
+func NewRand(seed int64) RNG {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,208 @@
+// Package securearray implements the secure outsourced cache of Section 2.2:
+// a (notionally secret-shared) padded array sigma[1,2,3,...] that buffers the
+// exhaustively padded outputs of the Transform protocol until a Shrink
+// protocol synchronizes a DP-sized prefix into the materialized view.
+//
+// The cache supports exactly the three operations the paper describes —
+// write (append a padded batch), read (oblivious sort by the isView bit,
+// then cut a prefix; Figure 3), and flush (fixed-size read followed by
+// recycling the remainder; Section 5.2.1). Reads always fetch real tuples
+// before dummies, which is what lets Shrink discard dummy volume without
+// learning which slots were real.
+package securearray
+
+import (
+	"fmt"
+
+	"incshrink/internal/mpc"
+	"incshrink/internal/oblivious"
+)
+
+// Cache is the secure outsourced cache sigma.
+type Cache struct {
+	entries []oblivious.Entry
+	meter   *mpc.Meter
+	// tupleBits is the secret payload width per slot, fixed at construction
+	// so all slots are indistinguishable.
+	tupleBits int
+
+	appends int
+	reads   int
+	flushes int
+	maxLen  int
+}
+
+// New creates an empty cache whose slots carry tupleBits of payload. The
+// meter (may be nil) is charged for every oblivious operation.
+func New(tupleBits int, meter *mpc.Meter) *Cache {
+	return &Cache{tupleBits: tupleBits, meter: meter}
+}
+
+// Append writes an exhaustively padded batch to the tail of the cache
+// (Alg. 1 line 7). The batch length is public by construction — it depends
+// only on the upload size and the truncation bound.
+func (c *Cache) Append(batch []oblivious.Entry) {
+	c.entries = append(c.entries, batch...)
+	c.appends++
+	if len(c.entries) > c.maxLen {
+		c.maxLen = len(c.entries)
+	}
+}
+
+// Len returns the current number of slots (real + dummy).
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Real returns the number of real (isView) tuples currently cached. In the
+// deployed system this value exists only as the secret-shared counter; it is
+// exposed here for the simulator's bookkeeping and for tests.
+func (c *Cache) Real() int { return oblivious.CountReal(c.entries) }
+
+// MaxLen returns the high-water mark of the cache length.
+func (c *Cache) MaxLen() int { return c.maxLen }
+
+// Stats returns operation counters (appends, reads, flushes).
+func (c *Cache) Stats() (appends, reads, flushes int) {
+	return c.appends, c.reads, c.flushes
+}
+
+// Read performs the secure cache read of Figure 3: obliviously sort so real
+// tuples lead, cut the first size slots off as the fetched batch, and keep
+// the remainder. size is clamped to [0, Len]. The caller reveals only size
+// (the DP-protected cardinality).
+func (c *Cache) Read(size int) []oblivious.Entry {
+	fetched, rest := oblivious.Compact(c.entries, size, c.meter, mpc.OpShrink, c.tupleBits)
+	c.entries = rest
+	c.reads++
+	return fetched
+}
+
+// Flush performs the cache-flush of Section 5.2.1: fetch exactly size slots
+// off the head of the sorted cache and recycle (drop) everything else. With
+// a flush size chosen by dp.FlushSizeFor, the recycled slots are all dummies
+// except with small probability beta. It returns the fetched slots and the
+// number of real tuples that were lost to recycling (0 in the common case;
+// surfaced so experiments can report it).
+func (c *Cache) Flush(size int) (fetched []oblivious.Entry, lostReal int) {
+	fetched, rest := oblivious.Compact(c.entries, size, c.meter, mpc.OpShrink, c.tupleBits)
+	lostReal = oblivious.CountReal(rest)
+	c.entries = nil
+	c.flushes++
+	return fetched, lostReal
+}
+
+// ReadAndPrune performs the view synchronization, a bounded deferred-data
+// spill, and the incremental cache cap under a single oblivious sort. The
+// sorted (real-first) cache splits into four public-length segments:
+//
+//	[0:size)                the DP-sized fetch (Alg. 2:8 / Alg. 3:10)
+//	[size:size+spill)       a fixed-size spill, also appended to the view —
+//	                        it drains deferred real tuples left behind by
+//	                        negative noise, giving the deferred-data walk a
+//	                        negative drift so it stays small at any horizon
+//	[... : ...+keep)        the surviving cache
+//	remainder               recycled; real tuples here are counted as lost
+//	                        (w.h.p. it is pure dummy volume, Theorem 4)
+//
+// All three cut points are public (size is the DP release; spill and keep
+// are configuration constants), so the operation leaks nothing beyond the
+// DP outputs. Returns the combined view batch and the number of real tuples
+// recycled.
+func (c *Cache) ReadAndPrune(size, spill, keep int) (fetched []oblivious.Entry, lostReal int) {
+	fetched, rest := oblivious.Compact(c.entries, size, c.meter, mpc.OpShrink, c.tupleBits)
+	c.reads++
+	if spill < 0 {
+		spill = 0
+	}
+	if spill > len(rest) {
+		spill = len(rest)
+	}
+	fetched = append(fetched, rest[:spill]...)
+	rest = rest[spill:]
+	if keep < 0 {
+		keep = 0
+	}
+	if keep < len(rest) {
+		lostReal = oblivious.CountReal(rest[keep:])
+		rest = rest[:keep:keep]
+		c.flushes++
+	}
+	c.entries = append([]oblivious.Entry(nil), rest...)
+	return fetched, lostReal
+}
+
+// Drain removes and returns every slot without sorting. Moving the entire
+// cache needs no oblivious reordering (nothing about the data is revealed by
+// a full move); baselines that synchronize everything use this.
+func (c *Cache) Drain() []oblivious.Entry {
+	out := c.entries
+	c.entries = nil
+	c.reads++
+	return out
+}
+
+// Prune sorts the cache and recycles every slot beyond keep, retaining only
+// the head. It is the incremental Theorem-4 variant of the flush: with keep
+// at least the deferred-data bound, the recycled tail is all dummies except
+// with small probability. Returns the number of real tuples lost.
+func (c *Cache) Prune(keep int) (lostReal int) {
+	if keep < 0 {
+		keep = 0
+	}
+	if keep >= len(c.entries) {
+		return 0
+	}
+	head, rest := oblivious.Compact(c.entries, keep, c.meter, mpc.OpShrink, c.tupleBits)
+	lostReal = oblivious.CountReal(rest)
+	c.entries = head
+	c.flushes++
+	return lostReal
+}
+
+// Snapshot returns a copy of the current slots, for invariant checks.
+func (c *Cache) Snapshot() []oblivious.Entry {
+	out := make([]oblivious.Entry, len(c.entries))
+	copy(out, c.entries)
+	return out
+}
+
+// String summarizes the cache for logs.
+func (c *Cache) String() string {
+	return fmt.Sprintf("securearray.Cache{len=%d real=%d max=%d}", c.Len(), c.Real(), c.maxLen)
+}
+
+// View is the materialized view object V: an append-only padded array the
+// servers answer queries from. Unlike the cache it is never resorted or
+// shrunk; Shrink appends DP-sized batches, so the view length itself is a
+// function of the DP outputs only.
+type View struct {
+	entries []oblivious.Entry
+	updates int
+}
+
+// NewView creates an empty materialized view.
+func NewView() *View { return &View{} }
+
+// Update appends a synchronized batch o (Alg. 2 line 8 / Alg. 3 line 10:
+// V <- V u o).
+func (v *View) Update(batch []oblivious.Entry) {
+	v.entries = append(v.entries, batch...)
+	v.updates++
+}
+
+// Len returns the number of slots in the view (real + dummy).
+func (v *View) Len() int { return len(v.entries) }
+
+// Real returns the number of real tuples (simulator bookkeeping only).
+func (v *View) Real() int { return oblivious.CountReal(v.entries) }
+
+// Updates returns the number of Update calls.
+func (v *View) Updates() int { return v.updates }
+
+// Entries exposes the slots for query processing. Callers must not mutate.
+func (v *View) Entries() []oblivious.Entry { return v.entries }
+
+// SizeBytes returns the storage footprint of the view given the per-slot
+// payload width, the "materialized view size (Mb)" metric of Table 2.
+func (v *View) SizeBytes(tupleBits int) int64 {
+	return int64(v.Len()) * int64(tupleBits) / 8
+}

@@ -1,0 +1,191 @@
+package securearray
+
+import (
+	"math/rand"
+	"testing"
+
+	"incshrink/internal/mpc"
+	"incshrink/internal/oblivious"
+	"incshrink/internal/table"
+)
+
+func batch(rng *rand.Rand, n, real int) []oblivious.Entry {
+	es := make([]oblivious.Entry, n)
+	perm := rng.Perm(n)
+	for i := range es {
+		es[i] = oblivious.Dummy(2)
+	}
+	for i := 0; i < real; i++ {
+		es[perm[i]] = oblivious.Entry{Row: table.Row{int64(i), 1}, IsView: true}
+	}
+	return es
+}
+
+func TestCacheAppendAndCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := New(128, nil)
+	c.Append(batch(rng, 10, 3))
+	c.Append(batch(rng, 10, 5))
+	if c.Len() != 20 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if c.Real() != 8 {
+		t.Errorf("Real = %d", c.Real())
+	}
+	if c.MaxLen() != 20 {
+		t.Errorf("MaxLen = %d", c.MaxLen())
+	}
+	a, r, f := c.Stats()
+	if a != 2 || r != 0 || f != 0 {
+		t.Errorf("stats = %d %d %d", a, r, f)
+	}
+}
+
+func TestCacheReadFetchesRealFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := New(128, nil)
+	c.Append(batch(rng, 30, 12))
+	got := c.Read(12)
+	if len(got) != 12 || oblivious.CountReal(got) != 12 {
+		t.Errorf("read %d slots, %d real; want 12 real", len(got), oblivious.CountReal(got))
+	}
+	if c.Real() != 0 {
+		t.Errorf("cache still holds %d real after exact read", c.Real())
+	}
+	if c.Len() != 18 {
+		t.Errorf("cache len %d after read, want 18", c.Len())
+	}
+}
+
+func TestCacheReadOverAndUnderSized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := New(128, nil)
+	c.Append(batch(rng, 10, 4))
+	// Positive noise: fetch more than real count -> dummies included.
+	got := c.Read(7)
+	if len(got) != 7 || oblivious.CountReal(got) != 4 {
+		t.Errorf("oversized read: %d slots %d real", len(got), oblivious.CountReal(got))
+	}
+	// Negative noise: fetch fewer than real -> deferred data remains.
+	c2 := New(128, nil)
+	c2.Append(batch(rng, 10, 4))
+	got = c2.Read(2)
+	if oblivious.CountReal(got) != 2 || c2.Real() != 2 {
+		t.Errorf("undersized read: fetched %d real, cache keeps %d", oblivious.CountReal(got), c2.Real())
+	}
+	// Read larger than cache clamps.
+	got = c2.Read(100)
+	if len(got) != 8 {
+		t.Errorf("clamped read returned %d slots, want remaining 8", len(got))
+	}
+	if c2.Len() != 0 {
+		t.Error("cache should be empty after clamped full read")
+	}
+}
+
+func TestCacheReadChargesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := mpc.NewMeter(mpc.DefaultCostModel())
+	c := New(256, m)
+	c.Append(batch(rng, 16, 5))
+	c.Read(5)
+	want := float64(mpc.SortCompareExchanges(16)) * 256 * m.Model().ANDGatesPerCompareExchangeBit
+	if got := m.Gates(mpc.OpShrink); got != want {
+		t.Errorf("read charged %v gates, want %v", got, want)
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := New(128, nil)
+	c.Append(batch(rng, 50, 6))
+	fetched, lost := c.Flush(10)
+	if len(fetched) != 10 {
+		t.Errorf("flush fetched %d, want 10", len(fetched))
+	}
+	if oblivious.CountReal(fetched) != 6 {
+		t.Errorf("flush fetched %d real, want all 6", oblivious.CountReal(fetched))
+	}
+	if lost != 0 {
+		t.Errorf("flush lost %d real tuples, want 0", lost)
+	}
+	if c.Len() != 0 {
+		t.Error("flush must empty the cache")
+	}
+	_, _, f := c.Stats()
+	if f != 1 {
+		t.Errorf("flush counter = %d", f)
+	}
+}
+
+func TestCacheFlushReportsLostReal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := New(128, nil)
+	c.Append(batch(rng, 20, 9))
+	_, lost := c.Flush(5) // undersized flush: 4 real recycled
+	if lost != 4 {
+		t.Errorf("lost = %d, want 4", lost)
+	}
+}
+
+func TestCacheSnapshotIsCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := New(128, nil)
+	c.Append(batch(rng, 5, 2))
+	snap := c.Snapshot()
+	snap[0].IsView = !snap[0].IsView
+	if c.Snapshot()[0].IsView == snap[0].IsView {
+		t.Error("snapshot shares storage with cache")
+	}
+	if c.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestViewAppendOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	v := NewView()
+	v.Update(batch(rng, 10, 4))
+	v.Update(batch(rng, 5, 5))
+	if v.Len() != 15 || v.Real() != 9 || v.Updates() != 2 {
+		t.Errorf("view len=%d real=%d updates=%d", v.Len(), v.Real(), v.Updates())
+	}
+	if len(v.Entries()) != 15 {
+		t.Error("Entries length wrong")
+	}
+}
+
+func TestViewSizeBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	v := NewView()
+	v.Update(batch(rng, 8, 2))
+	if got := v.SizeBytes(256); got != 8*256/8 {
+		t.Errorf("SizeBytes = %d", got)
+	}
+}
+
+// TestReadPreservesMultiset: read + remainder must hold exactly the original
+// real tuples (no tuple is lost or duplicated by the oblivious machinery).
+func TestReadPreservesMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	c := New(128, nil)
+	b := batch(rng, 40, 17)
+	orig := oblivious.RealRows(b)
+	c.Append(b)
+	got := c.Read(9)
+	combined := append(oblivious.RealRows(got), oblivious.RealRows(c.Snapshot())...)
+	if !table.MultisetEqual(combined, orig) {
+		t.Error("read split changed the multiset of real tuples")
+	}
+}
+
+func BenchmarkCacheRead256(b *testing.B) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := New(256, nil)
+		c.Append(batch(rng, 256, 40))
+		b.StartTimer()
+		c.Read(40)
+	}
+}

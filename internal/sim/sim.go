@@ -1,0 +1,163 @@
+// Package sim drives engines over workload traces and scores them: it
+// implements the evaluation harness of Section 7 — one standing query per
+// time step, L1 error against the logical ground truth, query execution
+// time, protocol times, and view sizes.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"incshrink/internal/core"
+	"incshrink/internal/workload"
+)
+
+// Options controls a run.
+type Options struct {
+	// QueryEvery issues the test query every n steps (default 1, the paper's
+	// "one test query at each time step").
+	QueryEvery int
+	// KeepSeries retains the per-step L1/QET series for figure generation.
+	KeepSeries bool
+}
+
+// Result aggregates one engine's run over one trace.
+type Result struct {
+	Engine   string
+	Workload string
+	Steps    int
+
+	AvgL1  float64
+	MaxL1  float64
+	AvgRel float64 // mean of L1_t / truth_t over steps with truth > 0
+	AvgQET float64
+
+	AvgTransformSecs float64
+	AvgShrinkSecs    float64
+	TotalMPCSecs     float64
+	TotalQuerySecs   float64
+
+	ViewLen   int
+	ViewReal  int
+	ViewBytes int64
+
+	Metrics core.Metrics
+
+	// Optional per-step series (KeepSeries).
+	L1Series  []float64
+	QETSeries []float64
+}
+
+// Run drives the engine over every step of the trace.
+func Run(e core.Engine, tr *workload.Trace, opts Options) Result {
+	if opts.QueryEvery < 1 {
+		opts.QueryEvery = 1
+	}
+	var (
+		truth              int
+		sumL1, sumRel, max float64
+		sumQET             float64
+		queries            int
+		l1s, qets          []float64
+	)
+	for _, st := range tr.Steps {
+		e.Step(st)
+		truth += st.NewPairs
+		if (st.T+1)%opts.QueryEvery != 0 {
+			continue
+		}
+		res, qet := e.Query()
+		l1 := math.Abs(float64(truth - res))
+		sumL1 += l1
+		if l1 > max {
+			max = l1
+		}
+		if truth > 0 {
+			sumRel += l1 / float64(truth)
+		}
+		sumQET += qet
+		queries++
+		if opts.KeepSeries {
+			l1s = append(l1s, l1)
+			qets = append(qets, qet)
+		}
+	}
+	m := e.Metrics()
+	r := Result{
+		Engine:           e.Name(),
+		Workload:         tr.Config.Name,
+		Steps:            len(tr.Steps),
+		AvgTransformSecs: m.AvgTransformSecs(),
+		AvgShrinkSecs:    m.AvgShrinkSecs(),
+		TotalMPCSecs:     m.TotalMPCSecs,
+		TotalQuerySecs:   m.QuerySecs,
+		ViewLen:          m.ViewLen,
+		ViewReal:         m.ViewReal,
+		ViewBytes:        m.ViewBytes,
+		Metrics:          m,
+		L1Series:         l1s,
+		QETSeries:        qets,
+	}
+	if queries > 0 {
+		r.AvgL1 = sumL1 / float64(queries)
+		r.AvgRel = sumRel / float64(queries)
+		r.AvgQET = sumQET / float64(queries)
+		r.MaxL1 = max
+	}
+	return r
+}
+
+// EngineKind names the five comparison candidates of Table 2.
+type EngineKind string
+
+// The candidates.
+const (
+	KindTimer EngineKind = "DP-Timer"
+	KindANT   EngineKind = "DP-ANT"
+	KindOTM   EngineKind = "OTM"
+	KindEP    EngineKind = "EP"
+	KindNM    EngineKind = "NM"
+)
+
+// AllKinds lists every candidate in Table 2 order.
+var AllKinds = []EngineKind{KindTimer, KindANT, KindOTM, KindEP, KindNM}
+
+// Build constructs an engine of the given kind.
+func Build(kind EngineKind, cfg core.Config, wl workload.Config) (core.Engine, error) {
+	switch kind {
+	case KindTimer:
+		return core.NewTimerEngine(cfg, wl)
+	case KindANT:
+		return core.NewANTEngine(cfg, wl)
+	case KindOTM:
+		return core.NewOTMEngine(cfg, wl)
+	case KindEP:
+		return core.NewEPEngine(cfg, wl)
+	case KindNM:
+		return core.NewNMEngine(cfg, wl)
+	default:
+		return nil, fmt.Errorf("sim: unknown engine kind %q", kind)
+	}
+}
+
+// RunKind generates nothing; it builds and runs one candidate over an
+// existing trace.
+func RunKind(kind EngineKind, cfg core.Config, tr *workload.Trace, opts Options) (Result, error) {
+	e, err := Build(kind, cfg, tr.Config)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(e, tr, opts), nil
+}
+
+// Improvement returns base/x as a human-oriented ratio, guarding zeros
+// (Table 2's "Imp." columns).
+func Improvement(base, x float64) float64 {
+	if x == 0 {
+		if base == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return base / x
+}

@@ -1,0 +1,23 @@
+package table
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRow checks the row codec never panics on arbitrary input and
+// that every successful decode re-encodes to the same bytes.
+func FuzzDecodeRow(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Row{1, -2, 3}.Encode())
+	f.Add([]byte{255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeRow(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(r.Encode(), data) {
+			t.Fatalf("decode/encode not idempotent for %x", data)
+		}
+	})
+}
