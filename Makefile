@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+# check is what CI runs: formatting, static checks, build, tests.
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race exercises the concurrent sweep engine and the engines it fans out.
+race:
+	$(GO) test -race ./internal/runner ./internal/sim
+	$(GO) test -race -run TestDeterministicAcrossWorkerCounts ./internal/experiments
+
+bench:
+	$(GO) test -bench . -benchtime 1x .

@@ -7,6 +7,7 @@
 package incshrink
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -27,12 +28,14 @@ import (
 var benchParams = experiments.Params{Steps: 120, Seed: 2022}
 
 // BenchmarkTable2 regenerates the aggregated comparison statistics (Table 2)
-// and reports the headline shape metrics for DP-Timer on TPC-ds.
+// and reports the headline shape metrics for DP-Timer on TPC-ds. Caches are
+// dropped every iteration so the full simulation cost is measured.
 func BenchmarkTable2(b *testing.B) {
 	var rows []experiments.Table2Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Table2(benchParams)
+		experiments.ResetCaches()
+		rows, err = experiments.Table2(context.Background(), benchParams)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -45,12 +48,13 @@ func BenchmarkTable2(b *testing.B) {
 	}
 }
 
-func benchFigure(b *testing.B, f func(experiments.Params) ([]experiments.Figure, error)) {
+func benchFigure(b *testing.B, f func(context.Context, experiments.Params) ([]experiments.Figure, error)) {
 	b.Helper()
 	var figs []experiments.Figure
 	var err error
 	for i := 0; i < b.N; i++ {
-		figs, err = f(benchParams)
+		experiments.ResetCaches()
+		figs, err = f(context.Background(), benchParams)
 		if err != nil {
 			b.Fatal(err)
 		}

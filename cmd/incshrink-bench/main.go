@@ -4,17 +4,24 @@
 // Usage:
 //
 //	incshrink-bench -exp table2 -steps 400
-//	incshrink-bench -exp all -steps 1825 -seed 2022
+//	incshrink-bench -exp all -steps 1825 -seed 2022 -workers 8
 //
 // The -steps flag sets the simulated horizon in time steps; 1825 matches the
 // paper's five-year TPC-ds span but any laptop-scale value preserves the
-// shapes. Output is a plain-text table per experiment.
+// shapes. Independent simulation cells — (dataset, engine, parameter point)
+// tuples — run concurrently on -workers goroutines (default GOMAXPROCS);
+// output is byte-identical for a fixed seed at any worker count. Output is a
+// plain-text table per experiment; Ctrl-C aborts the sweep (in-flight cells
+// finish but the interrupted experiment's output is discarded; a second
+// Ctrl-C exits immediately).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -23,19 +30,27 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment to run: all, "+strings.Join(experiments.Names(), ", "))
-		steps = flag.Int("steps", 400, "simulation horizon in time steps (paper: 1825)")
-		seed  = flag.Int64("seed", 2022, "random seed for workloads and protocols")
+		exp     = flag.String("exp", "all", "experiment to run: all, "+strings.Join(experiments.Names(), ", "))
+		steps   = flag.Int("steps", 400, "simulation horizon in time steps (paper: 1825)")
+		seed    = flag.Int64("seed", 2022, "random seed for workloads and protocols")
+		workers = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	p := experiments.Params{Steps: *steps, Seed: *seed}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// Once the first interrupt cancels the sweep, restore default SIGINT
+	// handling so a second Ctrl-C kills the process instead of being
+	// swallowed while in-flight cells wind down.
+	context.AfterFunc(ctx, stop)
+
+	p := experiments.Params{Steps: *steps, Seed: *seed, Workers: *workers}
 	start := time.Now()
 	var err error
 	if *exp == "all" {
-		err = experiments.RunAll(p, os.Stdout)
+		err = experiments.RunAll(ctx, p, os.Stdout)
 	} else if runner, ok := experiments.Registry[*exp]; ok {
-		err = runner(p, os.Stdout)
+		err = runner(ctx, p, os.Stdout)
 	} else {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; available: all, %s\n", *exp, strings.Join(experiments.Names(), ", "))
 		os.Exit(2)

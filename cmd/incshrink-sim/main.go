@@ -1,20 +1,32 @@
-// Command incshrink-sim runs a single IncShrink deployment over a synthetic
-// workload and reports per-interval progress plus final metrics — useful for
-// exploring a single configuration interactively rather than sweeping.
+// Command incshrink-sim runs IncShrink deployments over a synthetic workload
+// and reports progress plus final metrics — useful for exploring a single
+// configuration interactively rather than sweeping.
 //
 // Usage:
 //
 //	incshrink-sim -workload tpcds -engine DP-Timer -steps 400 -eps 1.5
 //	incshrink-sim -workload cpdb -engine DP-ANT -steps 600 -report 50
+//	incshrink-sim -workload tpcds -engine all -workers 4
+//
+// With a single -engine the run is interactive: a progress line every
+// -report steps. With a comma-separated list (or "all") the engines run
+// concurrently on -workers goroutines over one shared trace and print their
+// final metrics in list order; results are deterministic for a fixed seed at
+// any worker count. Ctrl-C aborts a concurrent run without printing metrics
+// (a second Ctrl-C exits immediately).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
+	"strings"
 
 	"incshrink/internal/core"
+	"incshrink/internal/runner"
 	"incshrink/internal/sim"
 	"incshrink/internal/workload"
 )
@@ -22,7 +34,7 @@ import (
 func main() {
 	var (
 		wlName  = flag.String("workload", "tpcds", "workload: tpcds or cpdb (optionally -sparse/-burst)")
-		engine  = flag.String("engine", "DP-Timer", "engine: DP-Timer, DP-ANT, OTM, EP, NM")
+		engine  = flag.String("engine", "DP-Timer", "engine, comma-separated list, or all: DP-Timer, DP-ANT, OTM, EP, NM")
 		steps   = flag.Int("steps", 400, "horizon in time steps")
 		seed    = flag.Int64("seed", 2022, "random seed")
 		eps     = flag.Float64("eps", 1.5, "privacy parameter epsilon")
@@ -30,7 +42,8 @@ func main() {
 		budget  = flag.Int("b", 0, "contribution budget (0 = dataset default)")
 		updateT = flag.Int("T", 0, "sDPTimer interval (0 = dataset default)")
 		theta   = flag.Float64("theta", 30, "sDPANT threshold")
-		report  = flag.Int("report", 100, "progress line every n steps")
+		report  = flag.Int("report", 100, "progress line every n steps (single engine only)")
+		workers = flag.Int("workers", 0, "concurrent engines when several are requested (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -56,25 +69,60 @@ func main() {
 	}
 	cfg.PruneTo = core.PruneBound(cfg, wl)
 
-	e, err := sim.Build(sim.EngineKind(*engine), cfg, wl)
+	kinds, err := pickEngines(*engine)
 	if err != nil {
 		fail(err)
 	}
+	fmt.Printf("workload=%s engines=%s steps=%d eps=%g omega=%d b=%d T=%d theta=%g\n",
+		wl.Name, *engine, *steps, *eps, cfg.Omega, cfg.Budget, cfg.T, cfg.Theta)
 
-	fmt.Printf("workload=%s engine=%s steps=%d eps=%g omega=%d b=%d T=%d theta=%g\n",
-		wl.Name, e.Name(), *steps, *eps, cfg.Omega, cfg.Budget, cfg.T, cfg.Theta)
+	if len(kinds) == 1 {
+		runInteractive(kinds[0], cfg, wl, tr, *report)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// After the first interrupt cancels the run, a second Ctrl-C kills the
+	// process via default signal handling.
+	context.AfterFunc(ctx, stop)
+	results, err := sim.RunKinds(ctx, kinds, cfg, tr, sim.Options{}, *workers)
+	if err != nil {
+		fail(err)
+	}
+	for _, r := range results {
+		fmt.Printf("\n== %s ==\n", r.Engine)
+		fmt.Printf("  avg L1 error %.2f (max %.0f, rel %.4f), avg QET %.6fs\n",
+			r.AvgL1, r.MaxL1, r.AvgRel, r.AvgQET)
+		printMetrics(r.Metrics)
+	}
+}
+
+// runInteractive drives one engine step by step with periodic progress
+// lines — the single-engine exploration mode. The engine's seed is derived
+// exactly as sim.RunKinds derives it, so a single-engine run reports the
+// same numbers as that engine's row in a multi-engine run at the same seed.
+func runInteractive(kind sim.EngineKind, cfg core.Config, wl workload.Config, tr *workload.Trace, report int) {
+	cfg.Seed = runner.DeriveSeed(cfg.Seed, string(kind))
+	e, err := sim.Build(kind, cfg, wl)
+	if err != nil {
+		fail(err)
+	}
 	truth := 0
 	for _, st := range tr.Steps {
 		e.Step(st)
 		truth += st.NewPairs
-		if *report > 0 && (st.T+1)%*report == 0 {
+		if report > 0 && (st.T+1)%report == 0 {
 			res, qet := e.Query()
 			fmt.Printf("t=%4d  truth=%6d  view-answer=%6d  |err|=%5.0f  QET=%.6fs\n",
 				st.T, truth, res, math.Abs(float64(truth-res)), qet)
 		}
 	}
-	m := e.Metrics()
 	fmt.Printf("\nfinal metrics:\n")
+	printMetrics(e.Metrics())
+}
+
+func printMetrics(m core.Metrics) {
 	fmt.Printf("  view: %d real / %d slots (%d bytes), %d updates, %d real tuples recycled\n",
 		m.ViewReal, m.ViewLen, m.ViewBytes, m.Updates, m.LostReal)
 	fmt.Printf("  cache: %d slots now, peak %d\n", m.CacheLen, m.CacheMax)
@@ -82,6 +130,35 @@ func main() {
 		m.AvgTransformSecs(), m.Transforms, m.AvgShrinkSecs(), m.AvgQuerySecs())
 	fmt.Printf("  total simulated MPC time %.2fs, total query time %.4fs\n",
 		m.TotalMPCSecs, m.QuerySecs)
+}
+
+func pickEngines(spec string) ([]sim.EngineKind, error) {
+	if spec == "all" {
+		return sim.AllKinds, nil
+	}
+	var kinds []sim.EngineKind
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		kind := sim.EngineKind(name)
+		found := false
+		for _, k := range sim.AllKinds {
+			if k == kind {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown engine %q", name)
+		}
+		kinds = append(kinds, kind)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("no engine selected")
+	}
+	return kinds, nil
 }
 
 func pickWorkload(name string, steps int, seed int64) (workload.Config, error) {

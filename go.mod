@@ -1,0 +1,3 @@
+module incshrink
+
+go 1.24

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -22,6 +23,9 @@ import (
 type Params struct {
 	Steps int
 	Seed  int64
+	// Workers bounds the sweep's concurrency; <= 0 means GOMAXPROCS. Output
+	// is byte-identical at any value for a fixed seed.
+	Workers int
 }
 
 // WithDefaults fills zero fields.
@@ -56,8 +60,6 @@ type datasetSpec struct {
 	Cfg   core.Config
 }
 
-func (d datasetSpec) trace() (*workload.Trace, error) { return workload.Generate(d.WL) }
-
 // Table2Row is one candidate's line in the aggregated comparison table.
 type Table2Row struct {
 	Dataset   string
@@ -77,23 +79,34 @@ type Table2Row struct {
 	ImpView float64 // view-size improvement over EP
 }
 
-// Table2 reproduces the aggregated statistics for the comparison experiment:
-// all five candidates on both datasets at the default configuration.
-func Table2(p Params) ([]Table2Row, error) {
-	p = p.WithDefaults()
-	var rows []Table2Row
-	for _, ds := range datasets(p) {
-		tr, err := ds.trace()
-		if err != nil {
-			return nil, err
-		}
-		results := map[sim.EngineKind]sim.Result{}
+// comparisonCells enumerates the five-candidate comparison grid (every
+// engine kind on both datasets at the default configuration) in report
+// order — the shared cell set behind Table 2 and Figure 4.
+func comparisonCells(dss []datasetSpec) []simCell {
+	var cells []simCell
+	for _, ds := range dss {
 		for _, kind := range sim.AllKinds {
-			r, err := sim.RunKind(kind, ds.Cfg, tr, sim.Options{})
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", ds.Label, kind, err)
-			}
-			results[kind] = r
+			cells = append(cells, simCell{wl: ds.WL, kind: kind, cfg: ds.Cfg})
+		}
+	}
+	return cells
+}
+
+// Table2 reproduces the aggregated statistics for the comparison experiment:
+// all five candidates on both datasets at the default configuration. The ten
+// cells run concurrently on the sweep worker pool.
+func Table2(ctx context.Context, p Params) ([]Table2Row, error) {
+	p = p.WithDefaults()
+	dss := datasets(p)
+	res, err := runCells(ctx, p, comparisonCells(dss))
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for di, ds := range dss {
+		results := map[sim.EngineKind]sim.Result{}
+		for ki, kind := range sim.AllKinds {
+			results[kind] = res[di*len(sim.AllKinds)+ki]
 		}
 		otm, ep, nm := results[sim.KindOTM], results[sim.KindEP], results[sim.KindNM]
 		for _, kind := range sim.AllKinds {

@@ -2,9 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
+
+var ctx = context.Background()
 
 // small keeps experiment tests fast; the shapes already emerge at this
 // horizon.
@@ -22,7 +25,7 @@ func TestWithDefaults(t *testing.T) {
 }
 
 func TestTable2Shapes(t *testing.T) {
-	rows, err := Table2(small)
+	rows, err := Table2(ctx, small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +69,7 @@ func TestTable2Shapes(t *testing.T) {
 }
 
 func TestFormatTable2(t *testing.T) {
-	rows, err := Table2(small)
+	rows, err := Table2(ctx, small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +82,7 @@ func TestFormatTable2(t *testing.T) {
 }
 
 func TestFigure4Positions(t *testing.T) {
-	figs, err := Figure4(small)
+	figs, err := Figure4(ctx, small)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +108,7 @@ func TestFigure4Positions(t *testing.T) {
 }
 
 func TestFigure5Trends(t *testing.T) {
-	figs, err := Figure5(Params{Steps: 300, Seed: 2022})
+	figs, err := Figure5(ctx, Params{Steps: 300, Seed: 2022})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +147,7 @@ func TestFigure5Trends(t *testing.T) {
 }
 
 func TestFigure6SparseBurstBias(t *testing.T) {
-	figs, err := Figure6(Params{Steps: 500, Seed: 2022})
+	figs, err := Figure6(ctx, Params{Steps: 500, Seed: 2022})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +172,7 @@ func TestFigure6SparseBurstBias(t *testing.T) {
 }
 
 func TestFigure8Shapes(t *testing.T) {
-	figs, err := Figure8(Params{Steps: 250, Seed: 2022})
+	figs, err := Figure8(ctx, Params{Steps: 250, Seed: 2022})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +203,7 @@ func TestFigure8Shapes(t *testing.T) {
 }
 
 func TestFigure9Scaling(t *testing.T) {
-	figs, err := Figure9(Params{Steps: 200, Seed: 2022})
+	figs, err := Figure9(ctx, Params{Steps: 200, Seed: 2022})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +252,7 @@ func TestRegistryAndNames(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if err := Registry["table2"](Params{Steps: 120, Seed: 1}, &buf); err != nil {
+	if err := Registry["table2"](ctx, Params{Steps: 120, Seed: 1}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "DP-Timer") {
@@ -277,7 +280,7 @@ func TestRunAllTiny(t *testing.T) {
 		t.Skip("full registry run")
 	}
 	var buf bytes.Buffer
-	if err := RunAll(Params{Steps: 60, Seed: 4}, &buf); err != nil {
+	if err := RunAll(ctx, Params{Steps: 60, Seed: 4}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -292,7 +295,7 @@ func TestRunAllTiny(t *testing.T) {
 }
 
 func TestFigure7Panels(t *testing.T) {
-	figs, err := Figure7(Params{Steps: 80, Seed: 4})
+	figs, err := Figure7(ctx, Params{Steps: 80, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

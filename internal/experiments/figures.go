@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"incshrink/internal/core"
@@ -8,16 +9,22 @@ import (
 	"incshrink/internal/workload"
 )
 
+// dpKinds are the two DP protocols the parameter sweeps compare.
+var dpKinds = []sim.EngineKind{sim.KindTimer, sim.KindANT}
+
 // Figure4 reproduces the end-to-end comparison scatter: average L1 error (x)
 // against average QET (y) for all five candidates, one figure per dataset.
-func Figure4(p Params) ([]Figure, error) {
+// Its cells are exactly Table 2's, so after a Table2 run they are free.
+func Figure4(ctx context.Context, p Params) ([]Figure, error) {
 	p = p.WithDefaults()
+	dss := datasets(p)
+	res, err := runCells(ctx, p, comparisonCells(dss))
+	if err != nil {
+		return nil, err
+	}
 	var figs []Figure
-	for _, ds := range datasets(p) {
-		tr, err := ds.trace()
-		if err != nil {
-			return nil, err
-		}
+	i := 0
+	for _, ds := range dss {
 		fig := Figure{
 			ID:     "fig4-" + ds.Label,
 			Title:  "End-to-end comparison (" + ds.Label + ")",
@@ -25,10 +32,8 @@ func Figure4(p Params) ([]Figure, error) {
 			YLabel: "avg QET (s)",
 		}
 		for _, kind := range sim.AllKinds {
-			r, err := sim.RunKind(kind, ds.Cfg, tr, sim.Options{})
-			if err != nil {
-				return nil, err
-			}
+			r := res[i]
+			i++
 			fig.Points = append(fig.Points, Point{Series: string(kind), X: r.AvgL1, Y: r.AvgQET})
 		}
 		figs = append(figs, fig)
@@ -41,14 +46,27 @@ var EpsilonSweep = []float64{0.01, 0.05, 0.1, 0.5, 1, 1.5, 5, 10, 50}
 
 // Figure5 reproduces the 3-way trade-off: L1 error and QET as epsilon sweeps
 // from 0.01 to 50, for both DP protocols on both datasets (four panels).
-func Figure5(p Params) ([]Figure, error) {
+func Figure5(ctx context.Context, p Params) ([]Figure, error) {
 	p = p.WithDefaults()
-	var figs []Figure
-	for _, ds := range datasets(p) {
-		tr, err := ds.trace()
-		if err != nil {
-			return nil, err
+	dss := datasets(p)
+	var cells []simCell
+	for _, ds := range dss {
+		for _, eps := range EpsilonSweep {
+			cfg := ds.Cfg
+			cfg.Epsilon = eps
+			cfg = prunedConfig(cfg, ds.WL)
+			for _, kind := range dpKinds {
+				cells = append(cells, simCell{wl: ds.WL, kind: kind, cfg: cfg})
+			}
 		}
+	}
+	res, err := runCells(ctx, p, cells)
+	if err != nil {
+		return nil, err
+	}
+	var figs []Figure
+	i := 0
+	for _, ds := range dss {
 		acc := Figure{
 			ID:     "fig5-accuracy-" + ds.Label,
 			Title:  "Privacy vs. accuracy (" + ds.Label + ")",
@@ -62,14 +80,9 @@ func Figure5(p Params) ([]Figure, error) {
 			YLabel: "avg QET (s)",
 		}
 		for _, eps := range EpsilonSweep {
-			cfg := ds.Cfg
-			cfg.Epsilon = eps
-			cfg = prunedConfig(cfg, ds.WL)
-			for _, kind := range []sim.EngineKind{sim.KindTimer, sim.KindANT} {
-				r, err := sim.RunKind(kind, cfg, tr, sim.Options{})
-				if err != nil {
-					return nil, err
-				}
+			for _, kind := range dpKinds {
+				r := res[i]
+				i++
 				acc.Points = append(acc.Points, Point{Series: string(kind), X: eps, Y: r.AvgL1})
 				eff.Points = append(eff.Points, Point{Series: string(kind), X: eps, Y: r.AvgQET})
 			}
@@ -89,10 +102,27 @@ func prunedConfig(cfg core.Config, wl workload.Config) core.Config {
 
 // Figure6 reproduces the workload-type comparison: L1 error and QET on
 // Sparse / Standard / Burst variants (x encoded as 0/1/2).
-func Figure6(p Params) ([]Figure, error) {
+func Figure6(ctx context.Context, p Params) ([]Figure, error) {
 	p = p.WithDefaults()
+	dss := datasets(p)
+	variantsOf := func(ds datasetSpec) []workload.Config {
+		return []workload.Config{workload.Sparse(ds.WL), ds.WL, workload.Burst(ds.WL)}
+	}
+	var cells []simCell
+	for _, ds := range dss {
+		for _, wl := range variantsOf(ds) {
+			for _, kind := range dpKinds {
+				cells = append(cells, simCell{wl: wl, kind: kind, cfg: ds.Cfg})
+			}
+		}
+	}
+	res, err := runCells(ctx, p, cells)
+	if err != nil {
+		return nil, err
+	}
 	var figs []Figure
-	for _, ds := range datasets(p) {
+	i := 0
+	for _, ds := range dss {
 		acc := Figure{
 			ID:     "fig6-accuracy-" + ds.Label,
 			Title:  "Workload type vs. accuracy (" + ds.Label + "; x: 0=Sparse 1=Standard 2=Burst)",
@@ -105,27 +135,12 @@ func Figure6(p Params) ([]Figure, error) {
 			XLabel: "workload type",
 			YLabel: "avg QET (s)",
 		}
-		variants := []struct {
-			x  float64
-			wl workload.Config
-		}{
-			{0, workload.Sparse(ds.WL)},
-			{1, ds.WL},
-			{2, workload.Burst(ds.WL)},
-		}
-		for _, v := range variants {
-			tr, err := workload.Generate(v.wl)
-			if err != nil {
-				return nil, err
-			}
-			for _, kind := range []sim.EngineKind{sim.KindTimer, sim.KindANT} {
-				cfg := ds.Cfg
-				r, err := sim.RunKind(kind, cfg, tr, sim.Options{})
-				if err != nil {
-					return nil, err
-				}
-				acc.Points = append(acc.Points, Point{Series: string(kind), X: v.x, Y: r.AvgL1})
-				eff.Points = append(eff.Points, Point{Series: string(kind), X: v.x, Y: r.AvgQET})
+		for x := range variantsOf(ds) {
+			for _, kind := range dpKinds {
+				r := res[i]
+				i++
+				acc.Points = append(acc.Points, Point{Series: string(kind), X: float64(x), Y: r.AvgL1})
+				eff.Points = append(eff.Points, Point{Series: string(kind), X: float64(x), Y: r.AvgQET})
 			}
 		}
 		figs = append(figs, acc, eff)
@@ -142,14 +157,31 @@ var Figure7Epsilons = []float64{0.1, 1, 10}
 
 // Figure7 compares the protocols while sweeping T (and correspondingly
 // theta) at three privacy levels: each panel is a QET-vs-L1 scatter.
-func Figure7(p Params) ([]Figure, error) {
+func Figure7(ctx context.Context, p Params) ([]Figure, error) {
 	p = p.WithDefaults()
-	var figs []Figure
-	for _, ds := range datasets(p) {
-		tr, err := ds.trace()
-		if err != nil {
-			return nil, err
+	dss := datasets(p)
+	var cells []simCell
+	for _, ds := range dss {
+		for _, eps := range Figure7Epsilons {
+			for _, T := range TSweep {
+				cfg := ds.Cfg
+				cfg.Epsilon = eps
+				cfg.T = T
+				cfg.Theta = ds.WL.PairRate * float64(T)
+				cfg = prunedConfig(cfg, ds.WL)
+				for _, kind := range dpKinds {
+					cells = append(cells, simCell{wl: ds.WL, kind: kind, cfg: cfg})
+				}
+			}
 		}
+	}
+	res, err := runCells(ctx, p, cells)
+	if err != nil {
+		return nil, err
+	}
+	var figs []Figure
+	i := 0
+	for _, ds := range dss {
 		for _, eps := range Figure7Epsilons {
 			fig := Figure{
 				ID:     fmt.Sprintf("fig7-%s-eps%g", ds.Label, eps),
@@ -157,17 +189,10 @@ func Figure7(p Params) ([]Figure, error) {
 				XLabel: "avg L1 error",
 				YLabel: "avg QET (s)",
 			}
-			for _, T := range TSweep {
-				cfg := ds.Cfg
-				cfg.Epsilon = eps
-				cfg.T = T
-				cfg.Theta = ds.WL.PairRate * float64(T)
-				cfg = prunedConfig(cfg, ds.WL)
-				for _, kind := range []sim.EngineKind{sim.KindTimer, sim.KindANT} {
-					r, err := sim.RunKind(kind, cfg, tr, sim.Options{})
-					if err != nil {
-						return nil, err
-					}
+			for range TSweep {
+				for _, kind := range dpKinds {
+					r := res[i]
+					i++
 					fig.Points = append(fig.Points, Point{Series: string(kind), X: r.AvgL1, Y: r.AvgQET})
 				}
 			}
@@ -183,10 +208,20 @@ var OmegaSweep = []int{2, 4, 8, 16, 24, 32}
 // Figure8 evaluates the effect of the truncation bound on the CPDB workload
 // (Q2), with b = 2*omega as in the paper: accuracy, QET, and the per-phase
 // protocol times.
-func Figure8(p Params) ([]Figure, error) {
+func Figure8(ctx context.Context, p Params) ([]Figure, error) {
 	p = p.WithDefaults()
 	ds := datasets(p)[1] // CPDB
-	tr, err := ds.trace()
+	var cells []simCell
+	for _, omega := range OmegaSweep {
+		cfg := ds.Cfg
+		cfg.Omega = omega
+		cfg.Budget = 2 * omega
+		cfg = prunedConfig(cfg, ds.WL)
+		for _, kind := range dpKinds {
+			cells = append(cells, simCell{wl: ds.WL, kind: kind, cfg: cfg})
+		}
+	}
+	res, err := runCells(ctx, p, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -197,16 +232,11 @@ func Figure8(p Params) ([]Figure, error) {
 	eff := mk("fig8-qet", "Query efficiency vs omega (CPDB)", "avg QET (s)")
 	trf := mk("fig8-transform", "Avg Transform execution time vs omega (CPDB)", "avg time (s)")
 	shr := mk("fig8-shrink", "Avg Shrink execution time vs omega (CPDB)", "avg time (s)")
+	i := 0
 	for _, omega := range OmegaSweep {
-		cfg := ds.Cfg
-		cfg.Omega = omega
-		cfg.Budget = 2 * omega
-		cfg = prunedConfig(cfg, ds.WL)
-		for _, kind := range []sim.EngineKind{sim.KindTimer, sim.KindANT} {
-			r, err := sim.RunKind(kind, cfg, tr, sim.Options{})
-			if err != nil {
-				return nil, err
-			}
+		for _, kind := range dpKinds {
+			r := res[i]
+			i++
 			x := float64(omega)
 			acc.Points = append(acc.Points, Point{Series: string(kind), X: x, Y: r.AvgL1})
 			eff.Points = append(eff.Points, Point{Series: string(kind), X: x, Y: r.AvgQET})
@@ -222,10 +252,27 @@ var ScaleSweep = []float64{0.5, 1, 2, 4}
 
 // Figure9 reproduces the scaling experiment: total MPC time (Transform +
 // Shrink) and total query time at 50%, 1x, 2x and 4x data scale.
-func Figure9(p Params) ([]Figure, error) {
+func Figure9(ctx context.Context, p Params) ([]Figure, error) {
 	p = p.WithDefaults()
+	dss := datasets(p)
+	var cells []simCell
+	for _, ds := range dss {
+		for _, factor := range ScaleSweep {
+			wl := workload.Scale(ds.WL, factor)
+			cfg := core.DefaultConfig(wl, p.Seed)
+			cfg.T = ds.Cfg.T
+			for _, kind := range dpKinds {
+				cells = append(cells, simCell{wl: wl, kind: kind, cfg: cfg})
+			}
+		}
+	}
+	res, err := runCells(ctx, p, cells)
+	if err != nil {
+		return nil, err
+	}
 	var figs []Figure
-	for _, ds := range datasets(p) {
+	i := 0
+	for _, ds := range dss {
 		mpcFig := Figure{
 			ID:     "fig9-mpc-" + ds.Label,
 			Title:  "Total MPC time vs data scale (" + ds.Label + ")",
@@ -239,18 +286,9 @@ func Figure9(p Params) ([]Figure, error) {
 			YLabel: "total query time (s)",
 		}
 		for _, factor := range ScaleSweep {
-			wl := workload.Scale(ds.WL, factor)
-			tr, err := workload.Generate(wl)
-			if err != nil {
-				return nil, err
-			}
-			cfg := core.DefaultConfig(wl, p.Seed)
-			cfg.T = ds.Cfg.T
-			for _, kind := range []sim.EngineKind{sim.KindTimer, sim.KindANT} {
-				r, err := sim.RunKind(kind, cfg, tr, sim.Options{})
-				if err != nil {
-					return nil, err
-				}
+			for _, kind := range dpKinds {
+				r := res[i]
+				i++
 				mpcFig.Points = append(mpcFig.Points, Point{Series: string(kind), X: factor, Y: r.TotalMPCSecs})
 				qFig.Points = append(qFig.Points, Point{Series: string(kind), X: factor, Y: r.TotalQuerySecs})
 			}

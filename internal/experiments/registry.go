@@ -1,19 +1,21 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 )
 
-// Runner regenerates one experiment and writes its report to w.
-type Runner func(p Params, w io.Writer) error
+// Runner regenerates one experiment and writes its report to w. The context
+// cancels in-flight sweep cells.
+type Runner func(ctx context.Context, p Params, w io.Writer) error
 
 // Registry maps experiment ids (as used by `incshrink-bench -exp`) to
 // runners.
 var Registry = map[string]Runner{
-	"table2": func(p Params, w io.Writer) error {
-		rows, err := Table2(p)
+	"table2": func(ctx context.Context, p Params, w io.Writer) error {
+		rows, err := Table2(ctx, p)
 		if err != nil {
 			return err
 		}
@@ -28,9 +30,9 @@ var Registry = map[string]Runner{
 	"fig9": figureRunner(Figure9),
 }
 
-func figureRunner(f func(Params) ([]Figure, error)) Runner {
-	return func(p Params, w io.Writer) error {
-		figs, err := f(p)
+func figureRunner(f func(context.Context, Params) ([]Figure, error)) Runner {
+	return func(ctx context.Context, p Params, w io.Writer) error {
+		figs, err := f(ctx, p)
 		if err != nil {
 			return err
 		}
@@ -54,12 +56,16 @@ func Names() []string {
 }
 
 // RunAll executes every experiment in order, writing section headers.
-func RunAll(p Params, w io.Writer) error {
+// Experiments are emitted sequentially so the report order is stable, but
+// each experiment's cells fan out across the worker pool, and the shared
+// trace/result caches mean overlapping cells (Table 2 and Figure 4, repeated
+// parameter points) are simulated only once per run.
+func RunAll(ctx context.Context, p Params, w io.Writer) error {
 	for _, name := range Names() {
 		if _, err := fmt.Fprintf(w, "==== %s ====\n", name); err != nil {
 			return err
 		}
-		if err := Registry[name](p, w); err != nil {
+		if err := Registry[name](ctx, p, w); err != nil {
 			return fmt.Errorf("experiment %s: %w", name, err)
 		}
 		if _, err := io.WriteString(w, "\n"); err != nil {

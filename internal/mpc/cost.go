@@ -123,7 +123,9 @@ func (o Op) String() string {
 	}
 }
 
-// Meter accumulates gate, byte and simulated-time charges by phase.
+// Meter accumulates gate, byte and simulated-time charges by phase. Like
+// Runtime, a Meter belongs to a single engine and is not safe for concurrent
+// use; concurrent simulation cells each meter their own runtime.
 type Meter struct {
 	model CostModel
 	gates [numOps]float64

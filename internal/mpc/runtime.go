@@ -151,6 +151,12 @@ func (p *Party) LoadShare(key string) (secretshare.Word, bool) {
 // "inside the protocol" are handled by Runtime methods and never written to
 // any party's transcript; only the events the paper's simulator reproduces
 // are observable.
+//
+// A Runtime (parties, meter, RNG streams) is not safe for concurrent use: it
+// is owned by exactly one engine, and the sweep engine (internal/runner)
+// parallelizes at the cell level by giving every concurrently running engine
+// its own Runtime with its own derived seed. Nothing in this package is
+// shared between runtimes, so any number may run in parallel.
 type Runtime struct {
 	S0, S1 *Party
 	Meter  *Meter

@@ -1,0 +1,170 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func intCells(n int, f func(i int) (int, error)) []Cell[int] {
+	cells := make([]Cell[int], n)
+	for i := range cells {
+		i := i
+		cells[i] = Cell[int]{
+			Key: fmt.Sprintf("cell-%d", i),
+			Run: func(context.Context) (int, error) { return f(i) },
+		}
+	}
+	return cells
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	const n = 100
+	cells := intCells(n, func(i int) (int, error) { return i * i, nil })
+	got, err := Map(context.Background(), cells, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("got %d results, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Errorf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	cells := intCells(50, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if _, err := Map(context.Background(), cells, workers); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent cells, want <= %d", p, workers)
+	}
+}
+
+func TestMapCollectsCellErrors(t *testing.T) {
+	boom := errors.New("boom")
+	cells := intCells(10, func(i int) (int, error) {
+		if i == 4 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	_, err := Map(context.Background(), cells, 2)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v is not a CellError", err)
+	}
+	if ce.Key != "cell-4" {
+		t.Errorf("failed cell key = %q, want cell-4", ce.Key)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("error chain lost the cause: %v", err)
+	}
+}
+
+func TestMapErrorCancelsRemaining(t *testing.T) {
+	var ran atomic.Int64
+	cells := make([]Cell[int], 200)
+	for i := range cells {
+		i := i
+		cells[i] = Cell[int]{Key: fmt.Sprintf("c%d", i), Run: func(context.Context) (int, error) {
+			ran.Add(1)
+			if i == 0 {
+				return 0, errors.New("first cell fails")
+			}
+			time.Sleep(time.Millisecond)
+			return i, nil
+		}}
+	}
+	if _, err := Map(context.Background(), cells, 1); err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n == 200 {
+		t.Error("cancellation did not skip any cell")
+	}
+}
+
+func TestMapParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	cells := intCells(100, func(i int) (int, error) {
+		once.Do(cancel)
+		return i, nil
+	})
+	_, err := Map(ctx, cells, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapEmptyAndSingle(t *testing.T) {
+	if res, err := Map(context.Background(), []Cell[int](nil), 4); err != nil || len(res) != 0 {
+		t.Fatalf("empty map: %v %v", res, err)
+	}
+	res, err := Map(context.Background(), intCells(1, func(i int) (int, error) { return 42, nil }), 16)
+	if err != nil || len(res) != 1 || res[0] != 42 {
+		t.Fatalf("single map: %v %v", res, err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d", got)
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	a := DeriveSeed(2022, "TPC-ds|DP-Timer")
+	if b := DeriveSeed(2022, "TPC-ds|DP-Timer"); a != b {
+		t.Errorf("not deterministic: %d vs %d", a, b)
+	}
+	if b := DeriveSeed(2022, "TPC-ds|DP-ANT"); a == b {
+		t.Error("different keys collided")
+	}
+	if b := DeriveSeed(2023, "TPC-ds|DP-Timer"); a == b {
+		t.Error("different run seeds collided")
+	}
+	seen := map[int64]string{}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("cell-%d", i)
+		s := DeriveSeed(7, k)
+		if s == 0 {
+			t.Fatalf("zero seed for %q", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between %q and %q", prev, k)
+		}
+		seen[s] = k
+	}
+}

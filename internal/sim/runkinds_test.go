@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"incshrink/internal/core"
+	"incshrink/internal/workload"
+)
+
+func TestRunKindsOrderAndDeterminism(t *testing.T) {
+	wl := workload.TPCDS(120, 9)
+	tr := trace(t, wl)
+	cfg := core.DefaultConfig(wl, 9)
+
+	sequential, err := RunKinds(context.Background(), AllKinds, cfg, tr, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunKinds(context.Background(), AllKinds, cfg, tr, Options{}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sequential) != len(AllKinds) {
+		t.Fatalf("got %d results, want %d", len(sequential), len(AllKinds))
+	}
+	for i, kind := range AllKinds {
+		if sequential[i].Engine != string(kind) {
+			t.Errorf("result %d engine = %q, want %q", i, sequential[i].Engine, kind)
+		}
+	}
+	if !reflect.DeepEqual(sequential, parallel) {
+		t.Error("RunKinds results differ between workers=1 and workers=8")
+	}
+}
+
+func TestRunKindsDerivesDistinctSeeds(t *testing.T) {
+	wl := workload.CPDB(100, 3)
+	tr := trace(t, wl)
+	cfg := core.DefaultConfig(wl, 3)
+	res, err := RunKinds(context.Background(), []EngineKind{KindTimer, KindANT}, cfg, tr, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Engine != "DP-Timer" || res[1].Engine != "DP-ANT" {
+		t.Errorf("order not preserved: %q, %q", res[0].Engine, res[1].Engine)
+	}
+}
+
+func TestRunKindsUnknownKind(t *testing.T) {
+	wl := workload.TPCDS(30, 1)
+	tr := trace(t, wl)
+	if _, err := RunKinds(context.Background(), []EngineKind{"bogus"}, core.DefaultConfig(wl, 1), tr, Options{}, 2); err == nil {
+		t.Fatal("expected error for unknown engine kind")
+	}
+}
