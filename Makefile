@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench serve
 
 # check is what CI runs: formatting, static checks, build, tests.
 check: fmt vet build test
@@ -17,10 +17,16 @@ build:
 test:
 	$(GO) test ./...
 
-# race exercises the concurrent sweep engine and the engines it fans out.
+# race exercises the concurrent sweep engine, the serving subsystem, and
+# the engines they fan out.
 race:
-	$(GO) test -race ./internal/runner ./internal/sim
+	$(GO) test -race ./internal/runner ./internal/sim ./internal/serve
 	$(GO) test -race -run TestDeterministicAcrossWorkerCounts ./internal/experiments
 
 bench:
 	$(GO) test -bench . -benchtime 1x .
+
+# serve runs the multi-tenant HTTP front end (see examples/server for a
+# curl-able session).
+serve:
+	$(GO) run ./cmd/incshrink-server -addr :8080

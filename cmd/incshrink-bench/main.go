@@ -1,10 +1,12 @@
 // Command incshrink-bench regenerates the paper's evaluation tables and
-// figures (Table 2 and Figures 4-9 of Section 7).
+// figures (Table 2 and Figures 4-9 of Section 7), and benchmarks the
+// multi-tenant serving subsystem.
 //
 // Usage:
 //
 //	incshrink-bench -exp table2 -steps 400
 //	incshrink-bench -exp all -steps 1825 -seed 2022 -workers 8
+//	incshrink-bench -exp serve -views 8 -steps 200 -json BENCH_serve.json
 //
 // The -steps flag sets the simulated horizon in time steps; 1825 matches the
 // paper's five-year TPC-ds span but any laptop-scale value preserves the
@@ -14,10 +16,18 @@
 // plain-text table per experiment; Ctrl-C aborts the sweep (in-flight cells
 // finish but the interrupted experiment's output is discarded; a second
 // Ctrl-C exits immediately).
+//
+// The serve experiment is not part of -exp all: it drives -views concurrent
+// tenants × -steps time steps through the internal/serve registry (the
+// incshrink-server data path) and writes a machine-readable throughput and
+// latency report to -json so the serving-performance trajectory can be
+// tracked across PRs. Per-view counts in the report are deterministic for a
+// fixed -seed; timings are not.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,15 +35,19 @@ import (
 	"strings"
 	"time"
 
+	"incshrink"
 	"incshrink/internal/experiments"
+	"incshrink/internal/serve"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: all, "+strings.Join(experiments.Names(), ", "))
+		exp     = flag.String("exp", "all", "experiment to run: serve, all, "+strings.Join(experiments.Names(), ", "))
 		steps   = flag.Int("steps", 400, "simulation horizon in time steps (paper: 1825)")
 		seed    = flag.Int64("seed", 2022, "random seed for workloads and protocols")
 		workers = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
+		views   = flag.Int("views", 8, "serve experiment: concurrent views")
+		jsonOut = flag.String("json", "BENCH_serve.json", "serve experiment: machine-readable report path")
 	)
 	flag.Parse()
 
@@ -47,7 +61,9 @@ func main() {
 	p := experiments.Params{Steps: *steps, Seed: *seed, Workers: *workers}
 	start := time.Now()
 	var err error
-	if *exp == "all" {
+	if *exp == "serve" {
+		err = runServe(ctx, *views, *steps, *seed, *workers, *jsonOut)
+	} else if *exp == "all" {
 		err = experiments.RunAll(ctx, p, os.Stdout)
 	} else if runner, ok := experiments.Registry[*exp]; ok {
 		err = runner(ctx, p, os.Stdout)
@@ -60,4 +76,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runServe benchmarks the multi-tenant serving subsystem: views concurrent
+// tenants ingesting steps time steps each through the registry, with a
+// standing count query every 5 steps, and writes the LoadReport to jsonOut.
+func runServe(ctx context.Context, views, steps int, seed int64, workers int, jsonOut string) error {
+	reg := serve.NewRegistry(serve.Config{IngestWorkers: workers})
+	defer reg.Close(context.Background())
+	cfg := serve.LoadConfig{
+		Views: views, Steps: steps, QueryEvery: 5, RowsPerStep: 2,
+		Def:     incshrink.ViewDef{Within: 10},
+		Opts:    incshrink.Options{Epsilon: 1.5, T: 10, Seed: seed},
+		Workers: workers,
+	}
+	rep, err := serve.RunLoad(ctx, reg, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve: %d views x %d steps: %d advances (%.0f/s), %d queries (%.0f/s), %.0f rows/s\n",
+		rep.Views, rep.Steps, rep.Advances, rep.AdvancesPerSec, rep.Queries, rep.QueriesPerSec, rep.RowsPerSec)
+	fmt.Printf("serve: advance latency p50/p99 %.3gms/%.3gms, query latency p50/p99 %.3gms/%.3gms\n",
+		rep.AdvanceLatency.P50*1e3, rep.AdvanceLatency.P99*1e3,
+		rep.QueryLatency.P50*1e3, rep.QueryLatency.P99*1e3)
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("serve: report written to %s\n", jsonOut)
+	return nil
 }

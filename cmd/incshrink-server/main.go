@@ -1,0 +1,71 @@
+// Command incshrink-server is the multi-tenant serving front end: it hosts
+// many named IncShrink views behind an HTTP JSON API, with per-view
+// single-writer ingestion and a concurrent read path (internal/serve).
+//
+// Usage:
+//
+//	incshrink-server -addr :8080 -mailbox 16 -ingest-workers 0
+//
+// A curl session against a running server:
+//
+//	curl -X POST localhost:8080/v1/views -d '{"name":"sales","within":10,"epsilon":1.5,"seed":42}'
+//	curl -X POST localhost:8080/v1/views/sales/advance -d '{"left":[[1,0]],"right":[[1,1]]}'
+//	curl localhost:8080/v1/views/sales/count
+//	curl -X POST localhost:8080/v1/views/sales/count \
+//	     -d '{"where":[{"col":"right.time","minus":"left.time","op":"<=","val":3}]}'
+//	curl localhost:8080/v1/views/sales/stats
+//
+// SIGINT/SIGTERM triggers graceful shutdown: in-flight requests finish,
+// admitted uploads drain, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"incshrink/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		mailbox = flag.Int("mailbox", 16, "per-view ingest queue depth (full queue -> 503)")
+		workers = flag.Int("ingest-workers", 0, "max views advancing simultaneously (0 = GOMAXPROCS)")
+		grace   = flag.Duration("grace", 10*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	reg := serve.NewRegistry(serve.Config{MailboxDepth: *mailbox, IngestWorkers: *workers})
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(reg)}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("incshrink-server listening on %s (mailbox=%d, ingest-workers=%d)", *addr, *mailbox, *workers)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("shutting down (grace %s)...", *grace)
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		if err := reg.Close(sctx); err != nil {
+			log.Printf("registry close: %v", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}

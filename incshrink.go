@@ -130,6 +130,13 @@ func (v ViewDef) withDefaults() ViewDef {
 }
 
 // DB is a secure outsourced growing database with one materialized view.
+//
+// A DB is not safe for concurrent use: every method — including the
+// queries, which charge the simulated MPC cost meter — mutates state, so a
+// bare DB must be confined to a single goroutine. For concurrent access
+// and multi-view hosting, route calls through the serving subsystem
+// (internal/serve, exposed by cmd/incshrink-server), which serializes
+// per-view ingestion behind a mailbox and interleaves queries safely.
 type DB struct {
 	fw     *core.Framework
 	def    ViewDef
@@ -272,24 +279,28 @@ func (db *DB) CountWhere(conds ...Where) (n int, qetSeconds float64, err error) 
 	return n, qet, nil
 }
 
-// Stats is a snapshot of the database's state and cost counters.
+// Stats is a snapshot of the database's state and cost counters. The JSON
+// form is what incshrink-server returns from its stats endpoint.
 type Stats struct {
 	// Step is the current logical time.
-	Step int
+	Step int `json:"step"`
 	// ViewEntries and ViewSlots are the real tuples and total (padded)
 	// slots in the materialized view.
-	ViewEntries, ViewSlots int
+	ViewEntries int `json:"view_entries"`
+	ViewSlots   int `json:"view_slots"`
 	// ViewBytes is the view's storage footprint.
-	ViewBytes int64
+	ViewBytes int64 `json:"view_bytes"`
 	// CacheSlots is the current secure cache length.
-	CacheSlots int
+	CacheSlots int `json:"cache_slots"`
 	// Updates counts view synchronizations so far.
-	Updates int
+	Updates int `json:"updates"`
 	// TransformSeconds, ShrinkSeconds, QuerySeconds are cumulative
 	// simulated MPC costs.
-	TransformSeconds, ShrinkSeconds, QuerySeconds float64
+	TransformSeconds float64 `json:"transform_seconds"`
+	ShrinkSeconds    float64 `json:"shrink_seconds"`
+	QuerySeconds     float64 `json:"query_seconds"`
 	// Epsilon is the DP guarantee on the update-pattern leakage.
-	Epsilon float64
+	Epsilon float64 `json:"epsilon"`
 }
 
 // Stats returns the current snapshot.

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"incshrink"
+)
+
+// The HTTP JSON API over a Registry. Routes (all JSON in and out):
+//
+//	GET    /healthz                  liveness + view count
+//	GET    /v1/views                 list view names
+//	POST   /v1/views                 create a view (CreateRequest)
+//	DELETE /v1/views/{name}          drop a view
+//	POST   /v1/views/{name}/advance  ingest one time step (AdvanceRequest)
+//	GET    /v1/views/{name}/count    standing view-count query
+//	POST   /v1/views/{name}/count    filtered count (CountRequest)
+//	GET    /v1/views/{name}/stats    protocol + serving stats
+//
+// Error mapping: unknown view -> 404, duplicate create -> 409, full
+// mailbox (ErrBusy) -> 503 with Retry-After, malformed input or a
+// DB-rejected upload/query -> 400.
+
+// CreateRequest declares a new view.
+type CreateRequest struct {
+	Name string `json:"name"`
+	// View definition.
+	Within      int64 `json:"within"`
+	Omega       int   `json:"omega,omitempty"`
+	Budget      int   `json:"budget,omitempty"`
+	RightPublic bool  `json:"right_public,omitempty"`
+	// Deployment options (zero values take the library defaults).
+	Epsilon     float64 `json:"epsilon,omitempty"`
+	Protocol    string  `json:"protocol,omitempty"` // "sDPTimer" (default) or "sDPANT"
+	T           int     `json:"t,omitempty"`
+	Theta       float64 `json:"theta,omitempty"`
+	UploadEvery int     `json:"upload_every,omitempty"`
+	MaxLeft     int     `json:"max_left,omitempty"`
+	MaxRight    int     `json:"max_right,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+}
+
+// AdvanceRequest carries one time step of uploads; each row is
+// {join key, event time, extra attributes...}.
+type AdvanceRequest struct {
+	Left  []incshrink.Row `json:"left"`
+	Right []incshrink.Row `json:"right"`
+}
+
+// AdvanceResponse reports the view's logical time after the step.
+type AdvanceResponse struct {
+	Step int `json:"step"`
+}
+
+// WhereJSON is one filter condition of a CountRequest. Op is one of
+// "=" "!=" "<" "<=" ">" ">="; Minus, when set, makes the left operand
+// Col - Minus (the paper's Q1 shape).
+type WhereJSON struct {
+	Col   string `json:"col"`
+	Minus string `json:"minus,omitempty"`
+	Op    string `json:"op"`
+	Val   int64  `json:"val"`
+}
+
+// CountRequest is a filtered count over the materialized view.
+type CountRequest struct {
+	Where []WhereJSON `json:"where"`
+}
+
+// CountResponse is a count query answer.
+type CountResponse struct {
+	Count      int     `json:"count"`
+	QETSeconds float64 `json:"qet_seconds"`
+}
+
+// StatusJSON is the wire form of a view Status.
+type StatusJSON struct {
+	Name  string          `json:"name"`
+	Stats incshrink.Stats `json:"stats"`
+	Serve ServeStats      `json:"serve"`
+}
+
+// maxBodyBytes bounds every request body before JSON decoding: a legal
+// upload is at most one block per stream (tens of rows), so 1 MiB is
+// generous, and an unbounded body must not be buffered into memory just to
+// fail the block-size check afterwards.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON decodes a size-capped request body into v.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	return json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v)
+}
+
+// ParseCmp maps an HTTP operator token to the library's comparison
+// operator. It accepts the SQL-ish spellings "=" (or "=="), "!=", "<",
+// "<=", ">", ">=".
+func ParseCmp(op string) (incshrink.Cmp, error) {
+	switch op {
+	case "=", "==":
+		return incshrink.Eq, nil
+	case "!=":
+		return incshrink.Ne, nil
+	case "<":
+		return incshrink.Lt, nil
+	case "<=":
+		return incshrink.Le, nil
+	case ">":
+		return incshrink.Gt, nil
+	case ">=":
+		return incshrink.Ge, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown comparison operator %q", op)
+	}
+}
+
+// ParseProtocol maps a protocol name to the library constant. The empty
+// string selects the default (sDPTimer).
+func ParseProtocol(name string) (incshrink.Protocol, error) {
+	switch name {
+	case "", "sDPTimer", "timer":
+		return incshrink.SDPTimer, nil
+	case "sDPANT", "ant":
+		return incshrink.SDPANT, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown protocol %q (want sDPTimer or sDPANT)", name)
+	}
+}
+
+// NewHandler serves the HTTP JSON API over the registry.
+func NewHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "views": reg.Len()})
+	})
+
+	mux.HandleFunc("GET /v1/views", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"views": reg.Names()})
+	})
+
+	mux.HandleFunc("POST /v1/views", func(w http.ResponseWriter, r *http.Request) {
+		var req CreateRequest
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding create request: %w", err))
+			return
+		}
+		proto, err := ParseProtocol(req.Protocol)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		v, err := reg.Create(req.Name,
+			incshrink.ViewDef{
+				Within:      req.Within,
+				Omega:       req.Omega,
+				Budget:      req.Budget,
+				RightPublic: req.RightPublic,
+			},
+			incshrink.Options{
+				Epsilon:     req.Epsilon,
+				Protocol:    proto,
+				T:           req.T,
+				Theta:       req.Theta,
+				UploadEvery: req.UploadEvery,
+				MaxLeft:     req.MaxLeft,
+				MaxRight:    req.MaxRight,
+				Seed:        req.Seed,
+			})
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, statusJSON(v.Stats()))
+	})
+
+	mux.HandleFunc("DELETE /v1/views/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := reg.Drop(r.PathValue("name")); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"dropped": r.PathValue("name")})
+	})
+
+	mux.HandleFunc("POST /v1/views/{name}/advance", withView(reg, func(v *View, w http.ResponseWriter, r *http.Request) {
+		var req AdvanceRequest
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding advance request: %w", err))
+			return
+		}
+		// Once admitted, the upload is applied in order even if the client
+		// goes away, so wait detached from the request context: answering
+		// 400 on a cancelled wait would invite a retry and a double-ingested
+		// time step.
+		step, err := v.Advance(context.WithoutCancel(r.Context()), req.Left, req.Right)
+		if err != nil {
+			if errors.Is(err, ErrBusy) {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, AdvanceResponse{Step: step})
+	}))
+
+	count := withView(reg, func(v *View, w http.ResponseWriter, r *http.Request) {
+		var conds []incshrink.Where
+		if r.Method == http.MethodPost {
+			var req CountRequest
+			if err := decodeJSON(w, r, &req); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("decoding count request: %w", err))
+				return
+			}
+			for _, c := range req.Where {
+				cmp, err := ParseCmp(c.Op)
+				if err != nil {
+					writeError(w, http.StatusBadRequest, err)
+					return
+				}
+				conds = append(conds, incshrink.Where{Col: c.Col, Minus: c.Minus, Cmp: cmp, Val: c.Val})
+			}
+		}
+		n, qet, err := v.CountWhere(conds...)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, CountResponse{Count: n, QETSeconds: qet})
+	})
+	mux.HandleFunc("GET /v1/views/{name}/count", count)
+	mux.HandleFunc("POST /v1/views/{name}/count", count)
+
+	mux.HandleFunc("GET /v1/views/{name}/stats", withView(reg, func(v *View, w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, statusJSON(v.Stats()))
+	}))
+
+	return mux
+}
+
+// withView resolves the {name} path segment to a live view.
+func withView(reg *Registry, h func(*View, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		v, err := reg.Get(r.PathValue("name"))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		h(v, w, r)
+	}
+}
+
+func statusJSON(s Status) StatusJSON {
+	return StatusJSON{Name: s.Name, Stats: s.DB, Serve: s.Serve}
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, ErrBusy):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"incshrink"
+	"incshrink/internal/runner"
+)
+
+// LoadConfig drives the load generator: Views concurrent tenants, each
+// ingesting Steps time steps of synthetic uploads and issuing a standing
+// count query every QueryEvery steps.
+type LoadConfig struct {
+	// Views is the number of concurrent views (default 8).
+	Views int
+	// Steps is the per-view horizon in time steps (default 100).
+	Steps int
+	// QueryEvery issues the standing query every n steps (default 1).
+	QueryEvery int
+	// RowsPerStep is how many rows each stream uploads per step (default
+	// 2; must fit the configured block sizes).
+	RowsPerStep int
+	// Def and Opts are the per-view deployment; each view derives its own
+	// protocol and workload seed from Opts.Seed and its name.
+	Def  incshrink.ViewDef
+	Opts incshrink.Options
+	// Workers bounds the concurrent view drivers (<= 0 means GOMAXPROCS).
+	Workers int
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Views <= 0 {
+		c.Views = 8
+	}
+	if c.Steps <= 0 {
+		c.Steps = 100
+	}
+	if c.QueryEvery <= 0 {
+		c.QueryEvery = 1
+	}
+	if c.RowsPerStep <= 0 {
+		c.RowsPerStep = 2
+	}
+	if c.Def.Within == 0 {
+		c.Def.Within = 10
+	}
+	if c.Opts.Seed == 0 {
+		c.Opts.Seed = 1
+	}
+	return c
+}
+
+// LatencyStats summarize one operation's latency distribution in seconds.
+type LatencyStats struct {
+	P50 float64 `json:"p50_seconds"`
+	P90 float64 `json:"p90_seconds"`
+	P99 float64 `json:"p99_seconds"`
+	Max float64 `json:"max_seconds"`
+}
+
+// LoadReport is the machine-readable result of a load run (the payload of
+// BENCH_serve.json).
+type LoadReport struct {
+	Views       int   `json:"views"`
+	Steps       int   `json:"steps"`
+	RowsPerStep int   `json:"rows_per_step"`
+	Seed        int64 `json:"seed"`
+
+	Advances int64 `json:"advances"`
+	Queries  int64 `json:"queries"`
+	Rows     int64 `json:"rows"`
+
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	AdvancesPerSec float64 `json:"advances_per_sec"`
+	QueriesPerSec  float64 `json:"queries_per_sec"`
+	RowsPerSec     float64 `json:"rows_per_sec"`
+
+	AdvanceLatency LatencyStats `json:"advance_latency"`
+	QueryLatency   LatencyStats `json:"query_latency"`
+
+	// Counts is the final standing-query answer per view, in view order —
+	// deterministic for a fixed seed at any worker count, and identical to
+	// a sequential single-view run of the same trace.
+	Counts map[string]int `json:"counts"`
+}
+
+// viewRun is one view driver's contribution to the report.
+type viewRun struct {
+	name        string
+	count       int
+	advances    int64
+	queries     int64
+	rows        int64
+	advanceLats []float64
+	queryLats   []float64
+}
+
+// LoadName names load-generator view i ("load-000", "load-001", ...).
+func LoadName(i int) string { return fmt.Sprintf("load-%03d", i) }
+
+// genStep produces one step of synthetic uploads: RowsPerStep sales at
+// time t, each with probability ~0.7 of a matching return within the view
+// window. Row content is a pure function of the per-view rng stream.
+func genStep(rng *rand.Rand, t int, n int, within int64, nextKey *int64) (left, right []incshrink.Row) {
+	for i := 0; i < n; i++ {
+		k := *nextKey
+		*nextKey++
+		left = append(left, incshrink.Row{k, int64(t)})
+		if rng.Float64() < 0.7 {
+			lag := rng.Int63n(within + 1)
+			right = append(right, incshrink.Row{k, int64(t) + lag})
+		}
+	}
+	return left, right
+}
+
+// RunLoad drives cfg.Views views concurrently through the registry: each
+// view driver creates its tenant, ingests cfg.Steps steps, and queries on
+// its schedule. Drivers fan out over the internal/runner pool, so the
+// report is assembled in view order and the per-view counts depend only on
+// (seed, view name) — never on scheduling. An ErrBusy admission rejection
+// is retried (the driver is the view's only writer, so the retry bound is
+// the mailbox drain).
+func RunLoad(ctx context.Context, reg *Registry, cfg LoadConfig) (LoadReport, error) {
+	cfg = cfg.withDefaults()
+	cells := make([]runner.Cell[viewRun], cfg.Views)
+	for i := 0; i < cfg.Views; i++ {
+		name := LoadName(i)
+		cells[i] = runner.Cell[viewRun]{
+			Key: name,
+			Run: func(ctx context.Context) (viewRun, error) {
+				return driveView(ctx, reg, name, cfg)
+			},
+		}
+	}
+	start := time.Now()
+	runs, err := runner.Map(ctx, cells, cfg.Workers)
+	if err != nil {
+		return LoadReport{}, err
+	}
+	elapsed := time.Since(start).Seconds()
+
+	rep := LoadReport{
+		Views:          cfg.Views,
+		Steps:          cfg.Steps,
+		RowsPerStep:    cfg.RowsPerStep,
+		Seed:           cfg.Opts.Seed,
+		ElapsedSeconds: elapsed,
+		Counts:         make(map[string]int, len(runs)),
+	}
+	var advLats, qryLats []float64
+	for _, r := range runs {
+		rep.Advances += r.advances
+		rep.Queries += r.queries
+		rep.Rows += r.rows
+		rep.Counts[r.name] = r.count
+		advLats = append(advLats, r.advanceLats...)
+		qryLats = append(qryLats, r.queryLats...)
+	}
+	if elapsed > 0 {
+		rep.AdvancesPerSec = float64(rep.Advances) / elapsed
+		rep.QueriesPerSec = float64(rep.Queries) / elapsed
+		rep.RowsPerSec = float64(rep.Rows) / elapsed
+	}
+	rep.AdvanceLatency = latencyStats(advLats)
+	rep.QueryLatency = latencyStats(qryLats)
+	return rep, nil
+}
+
+func driveView(ctx context.Context, reg *Registry, name string, cfg LoadConfig) (viewRun, error) {
+	opts := cfg.Opts
+	opts.Seed = runner.DeriveSeed(cfg.Opts.Seed, name)
+	v, err := reg.Create(name, cfg.Def, opts)
+	if err != nil {
+		return viewRun{}, err
+	}
+	run := viewRun{name: name}
+	rng := rand.New(rand.NewSource(runner.DeriveSeed(cfg.Opts.Seed, name+"/workload")))
+	nextKey := int64(1)
+	for t := 0; t < cfg.Steps; t++ {
+		if err := ctx.Err(); err != nil {
+			return viewRun{}, err
+		}
+		left, right := genStep(rng, t, cfg.RowsPerStep, cfg.Def.Within, &nextKey)
+		for {
+			s := time.Now()
+			_, err := v.Advance(ctx, left, right)
+			if err == nil {
+				run.advanceLats = append(run.advanceLats, time.Since(s).Seconds())
+				run.advances++
+				run.rows += int64(len(left) + len(right))
+				break
+			}
+			if !errors.Is(err, ErrBusy) {
+				return viewRun{}, fmt.Errorf("view %s step %d: %w", name, t, err)
+			}
+			// Admission rejection: back off until the mailbox drains.
+			select {
+			case <-ctx.Done():
+				return viewRun{}, ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
+		}
+		if (t+1)%cfg.QueryEvery == 0 {
+			s := time.Now()
+			n, _ := v.Count()
+			run.queryLats = append(run.queryLats, time.Since(s).Seconds())
+			run.queries++
+			run.count = n
+		}
+	}
+	// The reported count is always the answer after the full horizon; when
+	// QueryEvery divides Steps the in-loop query already produced it.
+	if cfg.Steps%cfg.QueryEvery != 0 {
+		s := time.Now()
+		run.count, _ = v.Count()
+		run.queryLats = append(run.queryLats, time.Since(s).Seconds())
+		run.queries++
+	}
+	return run, nil
+}
+
+// latencyStats computes the percentile summary of a sample (nearest-rank).
+func latencyStats(samples []float64) LatencyStats {
+	if len(samples) == 0 {
+		return LatencyStats{}
+	}
+	sort.Float64s(samples)
+	q := func(p float64) float64 {
+		i := int(p*float64(len(samples))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		return samples[i]
+	}
+	return LatencyStats{
+		P50: q(0.50),
+		P90: q(0.90),
+		P99: q(0.99),
+		Max: samples[len(samples)-1],
+	}
+}

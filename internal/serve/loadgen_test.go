@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestRunLoadReport(t *testing.T) {
+	cfg := LoadConfig{
+		Views: 4, Steps: 20, QueryEvery: 5, RowsPerStep: 2,
+		Def:  testDef(),
+		Opts: testOpts(11),
+	}
+	reg := NewRegistry(Config{})
+	defer reg.Close(context.Background())
+	rep, err := RunLoad(context.Background(), reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Views != 4 || rep.Steps != 20 {
+		t.Errorf("report shape: %+v", rep)
+	}
+	if rep.Advances != 4*20 {
+		t.Errorf("advances = %d, want 80", rep.Advances)
+	}
+	if rep.Queries != 4*4 {
+		t.Errorf("queries = %d, want 16", rep.Queries)
+	}
+	if rep.Rows == 0 || rep.ElapsedSeconds <= 0 || rep.AdvancesPerSec <= 0 {
+		t.Errorf("throughput fields: %+v", rep)
+	}
+	if rep.AdvanceLatency.Max <= 0 || rep.AdvanceLatency.P50 > rep.AdvanceLatency.Max {
+		t.Errorf("advance latency: %+v", rep.AdvanceLatency)
+	}
+	if rep.QueryLatency.Max <= 0 || rep.QueryLatency.P99 > rep.QueryLatency.Max {
+		t.Errorf("query latency: %+v", rep.QueryLatency)
+	}
+	if len(rep.Counts) != 4 {
+		t.Errorf("counts = %v", rep.Counts)
+	}
+	// The load generator created its views in the registry.
+	if got := reg.Len(); got != 4 {
+		t.Errorf("registry has %d views", got)
+	}
+}
+
+// TestRunLoadDeterministicCounts asserts the load generator's counts are a
+// pure function of the seed: same seed at different worker counts agrees,
+// different seed differs somewhere.
+func TestRunLoadDeterministicCounts(t *testing.T) {
+	run := func(seed int64, workers int) map[string]int {
+		cfg := LoadConfig{
+			Views: 4, Steps: 20, QueryEvery: 10, RowsPerStep: 2,
+			Def:     testDef(),
+			Opts:    testOpts(seed),
+			Workers: workers,
+		}
+		reg := NewRegistry(Config{})
+		defer reg.Close(context.Background())
+		rep, err := RunLoad(context.Background(), reg, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Counts
+	}
+	a, b := run(5, 1), run(5, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different workers: %v vs %v", a, b)
+	}
+	if c := run(6, 8); reflect.DeepEqual(a, c) {
+		t.Errorf("different seeds produced identical counts: %v", c)
+	}
+}
+
+func TestLatencyStats(t *testing.T) {
+	if s := latencyStats(nil); s != (LatencyStats{}) {
+		t.Errorf("empty sample: %+v", s)
+	}
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i + 1)
+	}
+	s := latencyStats(samples)
+	if s.P50 != 50 || s.P90 != 90 || s.P99 != 99 || s.Max != 100 {
+		t.Errorf("percentiles: %+v", s)
+	}
+}

@@ -1,0 +1,384 @@
+// Package serve is the multi-tenant serving subsystem: a registry hosting
+// many named IncShrink views (one incshrink.DB per tenant/view, each with
+// its own ViewDef/Options) behind a concurrency model the bare library does
+// not provide. A bare incshrink.DB is confined to a single goroutine; the
+// serve layer makes many of them jointly usable from arbitrary goroutines:
+//
+//   - Writes go through a bounded per-view mailbox drained by a single
+//     ingest goroutine, so Advance stays strictly serialized per view (the
+//     paper's "owners upload in time-step order" invariant) while distinct
+//     views ingest in parallel. A full mailbox rejects with ErrBusy — that
+//     is the admission control an HTTP front end maps to 503.
+//   - Total ingest parallelism across views is bounded by a worker-pool
+//     semaphore (the internal/runner pattern: IngestWorkers slots, <= 0
+//     meaning GOMAXPROCS), so a thousand registered views cannot start a
+//     thousand simultaneous MPC transforms.
+//   - Reads (Count, CountWhere, Stats) take the view's mutex directly and
+//     interleave between queued Advance steps, so queries are served while
+//     ingestion is in flight instead of waiting behind the whole mailbox.
+//     Note that "reads" still serialize on the mutex: a simulated secure
+//     query charges the view's cost meter, so it is a write at the DB layer.
+//
+// Determinism is preserved per view: because the mailbox serializes each
+// view's Advance order, a view ingesting a given step sequence through the
+// registry — under any amount of cross-view concurrency — produces counts
+// byte-identical to a sequential single-view run at the same seed.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"incshrink"
+	"incshrink/internal/runner"
+)
+
+// Sentinel errors of the serving layer.
+var (
+	// ErrBusy reports a full mailbox: the view's ingest queue is at
+	// capacity and the upload was not admitted.
+	ErrBusy = errors.New("serve: view mailbox full, upload not admitted")
+	// ErrNotFound reports an unknown view name.
+	ErrNotFound = errors.New("serve: view not found")
+	// ErrExists reports a Create against a name already registered.
+	ErrExists = errors.New("serve: view already exists")
+	// ErrClosed reports an operation against a closed registry or a
+	// dropped view.
+	ErrClosed = errors.New("serve: closed")
+)
+
+// Config tunes the registry.
+type Config struct {
+	// MailboxDepth is the per-view bounded ingest queue; an Advance that
+	// finds the mailbox full fails fast with ErrBusy. Default 16.
+	MailboxDepth int
+	// IngestWorkers bounds how many views may execute Advance
+	// simultaneously (<= 0 means GOMAXPROCS).
+	IngestWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MailboxDepth <= 0 {
+		c.MailboxDepth = 16
+	}
+	c.IngestWorkers = runner.Workers(c.IngestWorkers)
+	return c
+}
+
+// Registry hosts named views. All methods are safe for concurrent use.
+type Registry struct {
+	cfg Config
+	sem chan struct{} // ingest worker-pool slots, shared by every view
+
+	mu     sync.RWMutex
+	views  map[string]*View
+	closed bool
+	wg     sync.WaitGroup // running ingest loops
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry(cfg Config) *Registry {
+	cfg = cfg.withDefaults()
+	return &Registry{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.IngestWorkers),
+		views: make(map[string]*View),
+	}
+}
+
+// Create opens a new view under the given name and starts its ingest loop.
+func (r *Registry) Create(name string, def incshrink.ViewDef, opts incshrink.Options) (*View, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: view name must be non-empty")
+	}
+	// Check admission before incshrink.Open — building a framework is
+	// expensive and a retrying client should not pay it for a 409.
+	r.mu.RLock()
+	closed, dup := r.closed, false
+	_, dup = r.views[name]
+	r.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	db, err := incshrink.Open(def, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Re-check under the write lock: a concurrent Create or Close may have
+	// won the race while the DB was being built.
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := r.views[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	v := &View{
+		name:    name,
+		reg:     r,
+		db:      db,
+		mailbox: make(chan *advanceReq, r.cfg.MailboxDepth),
+	}
+	r.views[name] = v
+	r.wg.Add(1)
+	go v.ingestLoop(&r.wg)
+	return v, nil
+}
+
+// Get returns the named view.
+func (r *Registry) Get(name string) (*View, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.views[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return v, nil
+}
+
+// Names lists the registered views in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.views))
+	for name := range r.views {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len reports how many views are registered.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.views)
+}
+
+// Drop unregisters the named view, stopping its ingest loop. Uploads
+// already admitted to the mailbox are still applied before the loop exits;
+// later Advance calls fail with ErrClosed.
+func (r *Registry) Drop(name string) error {
+	r.mu.Lock()
+	v, ok := r.views[name]
+	if ok {
+		delete(r.views, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	v.stop()
+	return nil
+}
+
+// Close shuts the registry down gracefully: no new views or uploads are
+// admitted, every mailbox is drained (admitted uploads are applied, not
+// dropped), and Close returns when all ingest loops have exited or the
+// context is cancelled.
+func (r *Registry) Close(ctx context.Context) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	views := make([]*View, 0, len(r.views))
+	for _, v := range r.views {
+		views = append(views, v)
+	}
+	r.mu.Unlock()
+
+	for _, v := range views {
+		v.stop()
+	}
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ServeStats are the serving-layer counters of one view, distinct from the
+// protocol-level incshrink.Stats underneath.
+type ServeStats struct {
+	// Advances counts applied uploads; Rejected counts uploads refused at
+	// admission (full mailbox); Failed counts uploads the DB rejected
+	// (for example block-size violations).
+	Advances int64 `json:"advances"`
+	Rejected int64 `json:"rejected"`
+	Failed   int64 `json:"failed"`
+	// Queries counts served Count/CountWhere calls.
+	Queries int64 `json:"queries"`
+	// RowsLeft and RowsRight count ingested records per stream.
+	RowsLeft  int64 `json:"rows_left"`
+	RowsRight int64 `json:"rows_right"`
+}
+
+// Status is a full snapshot of one view: identity, protocol stats, and
+// serving stats.
+type Status struct {
+	Name  string
+	DB    incshrink.Stats
+	Serve ServeStats
+}
+
+// View is one hosted tenant: a single incshrink.DB behind a serializing
+// mailbox. All methods are safe for concurrent use.
+type View struct {
+	name    string
+	reg     *Registry
+	mailbox chan *advanceReq
+
+	// mu guards db — the bare DB is single-goroutine (see the incshrink
+	// package docs). The ingest loop holds it per Advance; readers hold it
+	// per query, so reads interleave between queued ingest steps.
+	mu sync.Mutex
+	db *incshrink.DB
+
+	advances atomic.Int64
+	rejected atomic.Int64
+	failed   atomic.Int64
+	queries  atomic.Int64
+	rowsL    atomic.Int64
+	rowsR    atomic.Int64
+
+	// closeMu guards closing and orders mailbox sends against stop()'s
+	// close; it is never held across a DB operation, so admission stays
+	// fast even while an expensive ingest step holds mu.
+	closeMu sync.Mutex
+	closing bool
+}
+
+type advanceReq struct {
+	left, right []incshrink.Row
+	done        chan advanceResult
+}
+
+type advanceResult struct {
+	step int
+	err  error
+}
+
+// Name returns the view's registry name.
+func (v *View) Name() string { return v.name }
+
+func (v *View) ingestLoop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for req := range v.mailbox {
+		// Take the view mutex before a worker-pool slot: a slot is only
+		// ever held during an actual Advance execution, so readers parked
+		// on one view's mutex cannot pin slots and starve other views.
+		v.mu.Lock()
+		v.reg.sem <- struct{}{}
+		err := v.db.Advance(req.left, req.right)
+		step := v.db.Now()
+		<-v.reg.sem
+		v.mu.Unlock()
+		if err != nil {
+			v.failed.Add(1)
+		} else {
+			v.advances.Add(1)
+			v.rowsL.Add(int64(len(req.left)))
+			v.rowsR.Add(int64(len(req.right)))
+		}
+		req.done <- advanceResult{step: step, err: err}
+	}
+}
+
+// stop closes the mailbox exactly once; admitted uploads drain first.
+func (v *View) stop() {
+	v.closeMu.Lock()
+	defer v.closeMu.Unlock()
+	if v.closing {
+		return
+	}
+	v.closing = true
+	close(v.mailbox)
+}
+
+// Advance admits one time step of uploads to the view's ingest queue and
+// waits for it to be applied, returning the view's logical time after the
+// step. A full mailbox fails fast with ErrBusy (the caller should retry or
+// shed load); a dropped view or closed registry fails with ErrClosed. If
+// ctx is cancelled while the upload is queued, Advance returns the context
+// error but the upload is still applied in order.
+func (v *View) Advance(ctx context.Context, left, right []incshrink.Row) (int, error) {
+	req := &advanceReq{left: left, right: right, done: make(chan advanceResult, 1)}
+	// The send must not race stop()'s close of the mailbox: check and send
+	// under the same lock stop() takes, making stop-then-send impossible.
+	v.closeMu.Lock()
+	if v.closing {
+		v.closeMu.Unlock()
+		return 0, ErrClosed
+	}
+	select {
+	case v.mailbox <- req:
+		v.closeMu.Unlock()
+	default:
+		v.closeMu.Unlock()
+		v.rejected.Add(1)
+		return 0, ErrBusy
+	}
+	select {
+	case res := <-req.done:
+		return res.step, res.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Count answers the standing view-count query. It is served immediately
+// (interleaving with ingestion) rather than queued behind the mailbox.
+func (v *View) Count() (n int, qetSeconds float64) {
+	v.mu.Lock()
+	n, qet := v.db.Count()
+	v.mu.Unlock()
+	v.queries.Add(1)
+	return n, qet
+}
+
+// CountWhere answers a filtered count over the materialized view.
+func (v *View) CountWhere(conds ...incshrink.Where) (n int, qetSeconds float64, err error) {
+	v.mu.Lock()
+	n, qet, err := v.db.CountWhere(conds...)
+	v.mu.Unlock()
+	if err != nil {
+		return 0, 0, err
+	}
+	v.queries.Add(1)
+	return n, qet, nil
+}
+
+// Stats snapshots the view.
+func (v *View) Stats() Status {
+	v.mu.Lock()
+	db := v.db.Stats()
+	v.mu.Unlock()
+	return Status{
+		Name: v.name,
+		DB:   db,
+		Serve: ServeStats{
+			Advances:  v.advances.Load(),
+			Rejected:  v.rejected.Load(),
+			Failed:    v.failed.Load(),
+			Queries:   v.queries.Load(),
+			RowsLeft:  v.rowsL.Load(),
+			RowsRight: v.rowsR.Load(),
+		},
+	}
+}

@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"incshrink"
+	"incshrink/internal/runner"
+)
+
+// testDef/testOpts are small, fast deployments for the serving tests.
+func testDef() incshrink.ViewDef { return incshrink.ViewDef{Within: 5} }
+
+func testOpts(seed int64) incshrink.Options {
+	return incshrink.Options{Seed: seed, T: 3, MaxLeft: 8, MaxRight: 8}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	reg := NewRegistry(Config{})
+	defer reg.Close(context.Background())
+
+	if _, err := reg.Create("", testDef(), testOpts(1)); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := reg.Create("bad", incshrink.ViewDef{Within: -1}, testOpts(1)); err == nil {
+		t.Error("invalid view definition accepted")
+	}
+
+	v, err := reg.Create("sales", testDef(), testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name() != "sales" {
+		t.Errorf("name = %q", v.Name())
+	}
+	if _, err := reg.Create("sales", testDef(), testOpts(1)); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate create: %v", err)
+	}
+	if _, err := reg.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get missing: %v", err)
+	}
+	if _, err := reg.Create("returns", testDef(), testOpts(2)); err != nil {
+		t.Fatal(err)
+	}
+	names := reg.Names()
+	if len(names) != 2 || names[0] != "returns" || names[1] != "sales" {
+		t.Errorf("names = %v", names)
+	}
+	if reg.Len() != 2 {
+		t.Errorf("len = %d", reg.Len())
+	}
+
+	if err := reg.Drop("returns"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Drop("returns"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double drop: %v", err)
+	}
+	if _, err := reg.Get("returns"); !errors.Is(err, ErrNotFound) {
+		t.Error("dropped view still resolvable")
+	}
+}
+
+func TestAdvanceAndCountThroughView(t *testing.T) {
+	reg := NewRegistry(Config{})
+	defer reg.Close(context.Background())
+	v, err := reg.Create("v", testDef(), testOpts(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for day := 0; day < 30; day++ {
+		k := int64(day + 1)
+		step, err := v.Advance(ctx, []incshrink.Row{{k, int64(day)}}, []incshrink.Row{{k, int64(day)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step != day+1 {
+			t.Fatalf("step = %d after %d advances", step, day+1)
+		}
+	}
+	n, qet := v.Count()
+	if n == 0 {
+		t.Error("count never grew")
+	}
+	if qet <= 0 {
+		t.Error("QET should be positive")
+	}
+	if _, _, err := v.CountWhere(incshrink.Where{Col: "left.key", Cmp: incshrink.Le, Val: 10}); err != nil {
+		t.Error(err)
+	}
+	if _, _, err := v.CountWhere(incshrink.Where{Col: "price", Cmp: incshrink.Gt, Val: 0}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	st := v.Stats()
+	if st.Serve.Advances != 30 {
+		t.Errorf("advances = %d", st.Serve.Advances)
+	}
+	if st.Serve.Queries != 2 { // Count + one successful CountWhere
+		t.Errorf("queries = %d", st.Serve.Queries)
+	}
+	if st.Serve.RowsLeft != 30 || st.Serve.RowsRight != 30 {
+		t.Errorf("rows = %d/%d", st.Serve.RowsLeft, st.Serve.RowsRight)
+	}
+	if st.DB.Step != 30 {
+		t.Errorf("db step = %d", st.DB.Step)
+	}
+}
+
+func TestAdvanceUploadErrorCounted(t *testing.T) {
+	reg := NewRegistry(Config{})
+	defer reg.Close(context.Background())
+	v, err := reg.Create("v", testDef(), incshrink.Options{Seed: 1, MaxLeft: 2, MaxRight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := []incshrink.Row{{1, 0}, {2, 0}, {3, 0}}
+	if _, err := v.Advance(context.Background(), big, nil); err == nil {
+		t.Error("oversized upload accepted")
+	}
+	if st := v.Stats(); st.Serve.Failed != 1 || st.Serve.Advances != 0 {
+		t.Errorf("serve stats after failed upload: %+v", st.Serve)
+	}
+}
+
+// TestMailboxAdmission holds the view's DB mutex so the ingest loop stalls,
+// then overfills the mailbox: the overflow must bounce with ErrBusy while
+// the admitted uploads are applied once the mutex is released.
+func TestMailboxAdmission(t *testing.T) {
+	reg := NewRegistry(Config{MailboxDepth: 2})
+	defer reg.Close(context.Background())
+	v, err := reg.Create("v", testDef(), testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v.mu.Lock() // stall the ingest loop mid-step
+	done := make(chan error, 3)
+	ctx := context.Background()
+	row := []incshrink.Row{{1, 0}}
+	enqueue := func() {
+		go func() {
+			_, err := v.Advance(ctx, row, nil)
+			done <- err
+		}()
+	}
+	// First upload: wait until the loop has pulled it off the mailbox and
+	// parked on the mutex, so capacity is deterministic: 1 in flight.
+	enqueue()
+	waitFor(t, func() bool { return len(v.mailbox) == 0 })
+	// Two more fill the mailbox exactly.
+	enqueue()
+	waitFor(t, func() bool { return len(v.mailbox) == 1 })
+	enqueue()
+	waitFor(t, func() bool { return len(v.mailbox) == 2 })
+
+	// Overflow must bounce immediately with ErrBusy — synchronously, even
+	// though the ingest mutex is held by this test.
+	for i := 0; i < 5; i++ {
+		if _, err := v.Advance(ctx, row, nil); !errors.Is(err, ErrBusy) {
+			t.Fatalf("overflow %d: expected ErrBusy, got %v", i, err)
+		}
+	}
+	v.mu.Unlock()
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("admitted upload failed: %v", err)
+		}
+	}
+	st := v.Stats()
+	if st.Serve.Advances != 3 || st.Serve.Rejected != 5 {
+		t.Errorf("advances=%d rejected=%d, want 3/5", st.Serve.Advances, st.Serve.Rejected)
+	}
+}
+
+// waitFor polls cond until true or the deadline expires.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached before deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCloseDrainsAdmittedUploads(t *testing.T) {
+	reg := NewRegistry(Config{MailboxDepth: 8})
+	v, err := reg.Create("v", testDef(), testOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	errs := make(chan error, 5)
+	for i := 0; i < 5; i++ {
+		go func(i int) {
+			_, err := v.Advance(ctx, []incshrink.Row{{int64(i + 1), 0}}, nil)
+			errs <- err
+		}(i)
+	}
+	// Close concurrently with the uploads: whatever was admitted must be
+	// applied, not dropped, and Close must wait for the loop to exit.
+	if err := reg.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var applied int64
+	for i := 0; i < 5; i++ {
+		switch err := <-errs; {
+		case err == nil:
+			applied++
+		case errors.Is(err, ErrClosed), errors.Is(err, ErrBusy):
+		default:
+			t.Errorf("unexpected advance error: %v", err)
+		}
+	}
+	st := v.Stats()
+	if st.Serve.Advances != applied || int64(st.DB.Step) != applied {
+		t.Errorf("after close: advances=%d step=%d, want %d applied", st.Serve.Advances, st.DB.Step, applied)
+	}
+	if _, err := v.Advance(ctx, []incshrink.Row{{9, 0}}, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("advance after close: %v", err)
+	}
+	if _, err := reg.Create("late", testDef(), testOpts(1)); !errors.Is(err, ErrClosed) {
+		t.Errorf("create after close: %v", err)
+	}
+	if err := reg.Close(ctx); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+// replaySequential drives the load generator's exact per-view trace into a
+// bare single-goroutine DB — the ground truth for the determinism check.
+func replaySequential(t *testing.T, name string, cfg LoadConfig) int {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	opts := cfg.Opts
+	opts.Seed = runner.DeriveSeed(cfg.Opts.Seed, name)
+	db, err := incshrink.Open(cfg.Def, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(runner.DeriveSeed(cfg.Opts.Seed, name+"/workload")))
+	nextKey := int64(1)
+	for step := 0; step < cfg.Steps; step++ {
+		left, right := genStep(rng, step, cfg.RowsPerStep, cfg.Def.Within, &nextKey)
+		if err := db.Advance(left, right); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, _ := db.Count()
+	return n
+}
+
+// TestConcurrentMatchesSequential is the acceptance determinism check: 8
+// views driven concurrently through the registry produce counts
+// byte-identical to sequential single-view runs at the same seed.
+func TestConcurrentMatchesSequential(t *testing.T) {
+	cfg := LoadConfig{
+		Views: 8, Steps: 40, QueryEvery: 4, RowsPerStep: 2,
+		Def:  testDef(),
+		Opts: testOpts(2022),
+	}
+	reg := NewRegistry(Config{MailboxDepth: 4, IngestWorkers: 8})
+	defer reg.Close(context.Background())
+	rep, err := RunLoad(context.Background(), reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Counts) != 8 {
+		t.Fatalf("counts for %d views, want 8", len(rep.Counts))
+	}
+	for i := 0; i < cfg.Views; i++ {
+		name := LoadName(i)
+		want := replaySequential(t, name, cfg)
+		if got := rep.Counts[name]; got != want {
+			t.Errorf("view %s: concurrent count %d != sequential %d", name, got, want)
+		}
+	}
+}
+
+// TestConcurrentAdvanceCountRace is the race-detector acceptance test: 8
+// views, each with one writer and two readers issuing interleaved
+// Count/CountWhere/Stats while ingestion is in flight. Run under -race.
+func TestConcurrentAdvanceCountRace(t *testing.T) {
+	reg := NewRegistry(Config{MailboxDepth: 4})
+	defer reg.Close(context.Background())
+	ctx := context.Background()
+
+	const views, steps = 8, 25
+	var wg sync.WaitGroup
+	errc := make(chan error, views)
+	for i := 0; i < views; i++ {
+		v, err := reg.Create(fmt.Sprintf("v%d", i), testDef(), testOpts(int64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		writerDone := make(chan struct{})
+		wg.Add(3)
+		go func() { // single writer
+			defer wg.Done()
+			defer close(writerDone)
+			for s := 0; s < steps; s++ {
+				k := int64(s + 1)
+				for {
+					_, err := v.Advance(ctx, []incshrink.Row{{k, int64(s)}}, []incshrink.Row{{k, int64(s)}})
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrBusy) {
+						errc <- err
+						return
+					}
+				}
+			}
+		}()
+		for r := 0; r < 2; r++ { // concurrent readers
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-writerDone:
+						return
+					default:
+					}
+					v.Count()
+					if _, _, err := v.CountWhere(incshrink.Where{Col: "left.key", Cmp: incshrink.Gt, Val: 0}); err != nil {
+						errc <- err
+						return
+					}
+					v.Stats()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	for i := 0; i < views; i++ {
+		v, err := reg.Get(fmt.Sprintf("v%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := v.Stats(); st.DB.Step != steps {
+			t.Errorf("view v%d at step %d, want %d", i, st.DB.Step, steps)
+		}
+	}
+}
