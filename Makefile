@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench serve
+.PHONY: check fmt vet build test race bench bench-core bench-smoke serve
 
 # check is what CI runs: formatting, static checks, build, tests.
 check: fmt vet build test
@@ -25,6 +25,20 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x .
+
+# bench-core regenerates the data-plane microbenchmark report
+# (BENCH_core.json): Advance/Count/CountWhere ns/op and allocs/op at the
+# paper-default deployment, with the pre-refactor baseline for comparison.
+bench-core:
+	$(GO) run ./cmd/incshrink-bench -exp core
+
+# bench-smoke compiles and runs every data-plane benchmark once — the
+# pooled-operator benchmarks and the root-package Advance/Count/CountWhere
+# benchmarks behind BENCH_core.json — so none of them can bit-rot (CI runs
+# this).
+bench-smoke:
+	$(GO) test -run XXX -bench . -benchtime 1x ./internal/oblivious ./internal/securearray
+	$(GO) test -run XXX -bench 'BenchmarkAdvance|BenchmarkCount' -benchtime 1x .
 
 # serve runs the multi-tenant HTTP front end (see examples/server for a
 # curl-able session).

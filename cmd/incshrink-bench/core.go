@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"incshrink/internal/corebench"
+)
+
+// The core experiment microbenchmarks the engine's data plane — the
+// columnar, pooled buffer path behind Advance, Count and CountWhere — at
+// the paper-default deployment (Within=10, epsilon=1.5, T=10, seed 1) with
+// a deterministic synthetic stream (three left rows and one joining right
+// row per step, mirroring the root-package core benchmarks). It writes a
+// machine-readable BENCH_core.json so the Go-side performance trajectory
+// can be tracked across PRs, alongside the recorded pre-refactor
+// (row-oriented []Entry data plane) baseline for context.
+
+// CoreOpReport is one operation's measurement.
+type CoreOpReport struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Ops         int     `json:"ops"`
+}
+
+// CoreReport is the machine-readable core data-plane benchmark report.
+type CoreReport struct {
+	Experiment string `json:"experiment"`
+	Deployment string `json:"deployment"`
+
+	Advance    CoreOpReport `json:"advance"`
+	Count      CoreOpReport `json:"count"`
+	CountWhere CoreOpReport `json:"count_where"`
+
+	// Baseline is the same benchmark recorded on the pre-refactor
+	// row-oriented engine (commit 5babe3b, this container class), kept in
+	// the report so the improvement is visible without digging through git
+	// history.
+	Baseline struct {
+		Commit     string       `json:"commit"`
+		Advance    CoreOpReport `json:"advance"`
+		Count      CoreOpReport `json:"count"`
+		CountWhere CoreOpReport `json:"count_where"`
+	} `json:"baseline"`
+
+	// AdvanceAllocsImprovement is baseline allocs/op over current allocs/op
+	// on the Advance hot path — the acceptance metric of the columnar
+	// refactor (>= 2 required).
+	AdvanceAllocsImprovement float64 `json:"advance_allocs_improvement"`
+}
+
+func toOpReport(r testing.BenchmarkResult) CoreOpReport {
+	return CoreOpReport{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Ops:         r.N,
+	}
+}
+
+// runCore benchmarks the Advance/Count/CountWhere hot paths and writes the
+// report to jsonOut.
+func runCore(jsonOut string) error {
+	var rep CoreReport
+	rep.Experiment = "core"
+	rep.Deployment = corebench.Deployment
+
+	var stepErr error
+	fail := func(err error) { stepErr = err }
+
+	advance := testing.Benchmark(func(b *testing.B) {
+		db, err := corebench.Open()
+		if err != nil {
+			fail(err)
+			b.SkipNow()
+		}
+		for t := 0; t < 64; t++ { // steady state: pools warm, windows full
+			if err := corebench.Step(db, t); err != nil {
+				fail(err)
+				b.SkipNow()
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := corebench.Step(db, 64+i); err != nil {
+				fail(err)
+				b.SkipNow()
+			}
+		}
+	})
+	if stepErr != nil {
+		return stepErr
+	}
+	rep.Advance = toOpReport(advance)
+
+	queryDB, err := corebench.Open()
+	if err != nil {
+		return err
+	}
+	for t := 0; t < 256; t++ {
+		if err := corebench.Step(queryDB, t); err != nil {
+			return err
+		}
+	}
+	rep.Count = toOpReport(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			queryDB.Count()
+		}
+	}))
+	cond := corebench.WhereCond()
+	rep.CountWhere = toOpReport(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := queryDB.CountWhere(cond); err != nil {
+				fail(err)
+				b.SkipNow()
+			}
+		}
+	}))
+	if stepErr != nil {
+		return stepErr
+	}
+
+	// Pre-refactor baseline, measured with the identical benchmark on the
+	// row-oriented []Entry data plane immediately before the columnar
+	// refactor landed.
+	rep.Baseline.Commit = "5babe3b"
+	rep.Baseline.Advance = CoreOpReport{NsPerOp: 613272, AllocsPerOp: 1986, BytesPerOp: 255161, Ops: 4039}
+	rep.Baseline.Count = CoreOpReport{NsPerOp: 656.7, AllocsPerOp: 0, BytesPerOp: 0, Ops: 3421642}
+	rep.Baseline.CountWhere = CoreOpReport{NsPerOp: 1616, AllocsPerOp: 3, BytesPerOp: 128, Ops: 1501594}
+	// A zero-alloc Advance is the best case, not a regression: divide by at
+	// least one so the improvement stays meaningful (and finite for JSON).
+	denom := rep.Advance.AllocsPerOp
+	if denom < 1 {
+		denom = 1
+	}
+	rep.AdvanceAllocsImprovement = float64(rep.Baseline.Advance.AllocsPerOp) / float64(denom)
+
+	fmt.Printf("core: advance %.0f ns/op, %d allocs/op, %d B/op (baseline %d allocs/op, %.0fx fewer)\n",
+		rep.Advance.NsPerOp, rep.Advance.AllocsPerOp, rep.Advance.BytesPerOp,
+		rep.Baseline.Advance.AllocsPerOp, rep.AdvanceAllocsImprovement)
+	fmt.Printf("core: count %.1f ns/op (%d allocs/op), countWhere %.1f ns/op (%d allocs/op)\n",
+		rep.Count.NsPerOp, rep.Count.AllocsPerOp, rep.CountWhere.NsPerOp, rep.CountWhere.AllocsPerOp)
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("core: report written to %s\n", jsonOut)
+	return nil
+}

@@ -17,12 +17,15 @@
 // finish but the interrupted experiment's output is discarded; a second
 // Ctrl-C exits immediately).
 //
-// The serve experiment is not part of -exp all: it drives -views concurrent
-// tenants × -steps time steps through the internal/serve registry (the
-// incshrink-server data path) and writes a machine-readable throughput and
-// latency report to -json so the serving-performance trajectory can be
-// tracked across PRs. Per-view counts in the report are deterministic for a
-// fixed -seed; timings are not.
+// The serve and core experiments are not part of -exp all. serve drives
+// -views concurrent tenants × -steps time steps through the internal/serve
+// registry (the incshrink-server data path) and writes a machine-readable
+// throughput and latency report to -json so the serving-performance
+// trajectory can be tracked across PRs; per-view counts in the report are
+// deterministic for a fixed -seed, timings are not. core microbenchmarks
+// the engine's columnar data plane (Advance/Count/CountWhere ns/op and
+// allocs/op at the paper-default deployment) and writes BENCH_core.json,
+// including the recorded pre-refactor baseline for comparison.
 package main
 
 import (
@@ -42,12 +45,12 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: serve, all, "+strings.Join(experiments.Names(), ", "))
+		exp     = flag.String("exp", "all", "experiment to run: serve, core, all, "+strings.Join(experiments.Names(), ", "))
 		steps   = flag.Int("steps", 400, "simulation horizon in time steps (paper: 1825)")
 		seed    = flag.Int64("seed", 2022, "random seed for workloads and protocols")
 		workers = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS)")
 		views   = flag.Int("views", 8, "serve experiment: concurrent views")
-		jsonOut = flag.String("json", "BENCH_serve.json", "serve experiment: machine-readable report path")
+		jsonOut = flag.String("json", "", "serve/core experiments: machine-readable report path (default BENCH_<exp>.json)")
 	)
 	flag.Parse()
 
@@ -62,7 +65,17 @@ func main() {
 	start := time.Now()
 	var err error
 	if *exp == "serve" {
-		err = runServe(ctx, *views, *steps, *seed, *workers, *jsonOut)
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_serve.json"
+		}
+		err = runServe(ctx, *views, *steps, *seed, *workers, out)
+	} else if *exp == "core" {
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_core.json"
+		}
+		err = runCore(out)
 	} else if *exp == "all" {
 		err = experiments.RunAll(ctx, p, os.Stdout)
 	} else if runner, ok := experiments.Registry[*exp]; ok {

@@ -1,0 +1,68 @@
+package incshrink_test
+
+import (
+	"testing"
+
+	"incshrink"
+	"incshrink/internal/corebench"
+)
+
+// The core data-plane benchmarks drive the public API at the paper-default
+// deployment with a deterministic synthetic stream, both defined once in
+// internal/corebench so `incshrink-bench -exp core` (the source of the
+// BENCH_core.json trajectory) measures exactly the same workload.
+
+func benchOpen(b *testing.B) *incshrink.DB {
+	b.Helper()
+	db, err := corebench.Open()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func benchStep(b *testing.B, db *incshrink.DB, t int) {
+	b.Helper()
+	if err := corebench.Step(db, t); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAdvance(b *testing.B) {
+	db := benchOpen(b)
+	for t := 0; t < 64; t++ { // steady state: pools warm, windows full
+		benchStep(b, db, t)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchStep(b, db, 64+i)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	db := benchOpen(b)
+	for t := 0; t < 256; t++ {
+		benchStep(b, db, t)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Count()
+	}
+}
+
+func BenchmarkCountWhere(b *testing.B) {
+	db := benchOpen(b)
+	for t := 0; t < 256; t++ {
+		benchStep(b, db, t)
+	}
+	cond := corebench.WhereCond()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := db.CountWhere(cond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -34,7 +34,9 @@ import (
 )
 
 // Row is one relational tuple: {join key, event time, extra attributes...}.
-// Only the first two attributes participate in the view definition.
+// Only the first two attributes participate in the view definition; any
+// extra attributes are ignored by the engine (the materialized view carries
+// exactly the four columns of the join schema).
 type Row = []int64
 
 // Protocol selects the Shrink synchronization strategy.
@@ -219,10 +221,14 @@ func (db *DB) Advance(left, right []Row) error {
 func (db *DB) records(rows []Row) ([]oblivious.Record, error) {
 	out := make([]oblivious.Record, 0, len(rows))
 	for _, r := range rows {
-		if len(r) < 2 {
+		if len(r) < workload.StreamArity {
 			return nil, fmt.Errorf("incshrink: row needs at least {key, time}, got %d attributes", len(r))
 		}
-		out = append(out, oblivious.Record{ID: db.nextID, Row: table.Row(r)})
+		// The engine's fixed-arity data plane (and the view schema the
+		// queries resolve against) carries exactly {key, time} per stream;
+		// extra attributes do not participate in the view definition and are
+		// dropped here.
+		out = append(out, oblivious.Record{ID: db.nextID, Row: table.Row(r[:workload.StreamArity])})
 		db.nextID++
 	}
 	return out, nil

@@ -120,6 +120,41 @@ func TestRowValidation(t *testing.T) {
 	}
 }
 
+// TestWideRowsAcceptedAndIgnored: rows may carry extra attributes beyond
+// {key, time}; the engine drops them at the API boundary (the fixed-arity
+// data plane carries exactly the join schema) instead of panicking or
+// corrupting the view column mapping.
+func TestWideRowsAcceptedAndIgnored(t *testing.T) {
+	wide, err := Open(ViewDef{Within: 10}, Options{T: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, _ := Open(ViewDef{Within: 10}, Options{T: 5, Seed: 7})
+	for day := 0; day < 40; day++ {
+		k := int64(day)
+		if err := wide.Advance([]Row{{k, k, 99, 98}}, []Row{{k, k + 1, 77}}); err != nil {
+			t.Fatalf("day %d: wide rows rejected: %v", day, err)
+		}
+		if err := narrow.Advance([]Row{{k, k}}, []Row{{k, k + 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nw, _ := wide.Count()
+	nn, _ := narrow.Count()
+	if nw != nn {
+		t.Errorf("wide-row count %d != narrow-row count %d", nw, nn)
+	}
+	cond := Where{Col: "right.time", Minus: "left.time", Cmp: Le, Val: 10}
+	fw, _, err := wide.CountWhere(cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, _, _ := narrow.CountWhere(cond)
+	if fw != fn {
+		t.Errorf("wide-row filtered count %d != narrow-row %d", fw, fn)
+	}
+}
+
 func TestANTProtocol(t *testing.T) {
 	db, err := Open(ViewDef{Within: 10}, Options{Protocol: SDPANT, Theta: 10, Seed: 3, MaxLeft: 8, MaxRight: 8})
 	if err != nil {

@@ -43,7 +43,7 @@ func (passthroughShrink) Tick(f *Framework, _ int) {
 		return
 	}
 	// Straight append: no oblivious sort is needed because every slot moves.
-	f.view.Update(f.cache.Drain())
+	f.cache.DrainInto(f.view)
 	f.resetCounter()
 }
 
@@ -97,7 +97,7 @@ func (o *OTM) Step(st workload.Step) {
 	}
 	o.f.Step(st)
 	if o.f.cache.Len() > 0 {
-		o.f.view.Update(o.f.cache.Drain())
+		o.f.cache.DrainInto(o.f.view)
 		o.materialized = true
 	}
 }

@@ -199,8 +199,16 @@ type Framework struct {
 	shrink       Shrinker
 	match        oblivious.MatchFunc
 	pendingRight []oblivious.Record // public arrivals awaiting the next upload
-	overflow     []oblivious.Entry  // real entries beyond the delta cap, carried forward
+	overflow     *oblivious.Buffer  // real entries beyond the delta cap, carried forward
 	dummyID      int64              // descending generator for padding-record keys
+
+	// Per-transform scratch, reused across invocations so the steady-state
+	// Advance path allocates (almost) nothing: the padded input windows, the
+	// new-record ID set, and a flat arena for padding-record payloads (dummy
+	// records live only for the duration of one transform).
+	inLeft, inRight []oblivious.Record
+	newIDs          map[int64]bool
+	padRows         table.Flat
 
 	// Public input caps: the active windows are padded to these sizes so the
 	// Transform input — and therefore its cost and its padded output — is
@@ -235,14 +243,17 @@ func New(cfg Config, wl workload.Config, shrink Shrinker) (*Framework, error) {
 		cfg:         cfg,
 		wl:          wl,
 		rt:          rt,
-		cache:       securearray.New(tupleBits, rt.Meter),
-		view:        securearray.NewView(),
+		cache:       securearray.New(workload.JoinArity, tupleBits, rt.Meter),
+		view:        securearray.NewView(workload.JoinArity),
 		leftBudget:  NewBudgetTracker(cfg.Budget),
 		rightBudget: NewBudgetTracker(rightBudgetFor(cfg, wl)),
 		leftSince:   make(map[int64]int),
 		rightSince:  make(map[int64]int),
 		shrink:      shrink,
 		match:       wl.Match(),
+		overflow:    oblivious.NewBuffer(workload.JoinArity, 0),
+		newIDs:      make(map[int64]bool),
+		padRows:     *table.NewFlat(workload.StreamArity, 0),
 		dummyID:     -2, // -1 is reserved for dummy entries
 	}
 	inv := invocationsPerRecord(cfg, wl)
@@ -336,10 +347,9 @@ func (f *Framework) Step(st workload.Step) {
 	f.shrink.Tick(f, st.T)
 
 	if f.cfg.FlushEvery > 0 && st.T > 0 && st.T%f.cfg.FlushEvery == 0 {
-		fetched, lost := f.cache.Flush(f.cfg.FlushSize)
-		f.view.Update(fetched)
+		fetched, lost := f.cache.FlushInto(f.view, f.cfg.FlushSize)
 		f.lostReal += lost
-		f.rt.ObserveFlush(len(fetched), "flush")
+		f.rt.ObserveFlush(fetched, "flush")
 	}
 }
 
@@ -350,7 +360,12 @@ func (f *Framework) uploadDue(t int) bool {
 	return (t+1)%f.wl.UploadEvery == 0
 }
 
-// transform is the Transform protocol of Algorithm 1 for one upload.
+// transform is the Transform protocol of Algorithm 1 for one upload. Its
+// intermediates live in per-framework scratch and pooled columnar buffers,
+// so a steady-state invocation stays off the allocator: padded inputs reuse
+// f.inLeft/f.inRight, padding-record payloads live in the f.padRows arena,
+// and the join output, compaction output and overflow carry are
+// arena-backed oblivious.Buffers.
 func (f *Framework) transform(newLeft, newRight []oblivious.Record) {
 	f.transforms++
 	t := f.now
@@ -366,44 +381,59 @@ func (f *Framework) transform(newLeft, newRight []oblivious.Record) {
 		f.rightBudget.Register(r.ID)
 		f.rightSince[r.ID] = t
 	}
-	// Uploads are padded to the public block sizes; public relations need no
-	// padding (their content is not secret).
-	newLeft = f.padUpload(newLeft, f.wl.MaxLeft)
+
+	// Reserve the padding arena up front so the Record row views handed out
+	// by newPadRecord stay valid for the whole invocation.
+	f.padRows.Reset()
+	f.padRows.Grow(f.wl.MaxLeft + f.wl.MaxRight + f.activeLeftCap + f.activeRightCap)
+
+	// The full input is the padded new upload plus the active window padded
+	// to its public cap, so the input size (and thus the protocol's cost and
+	// output size) is data-independent. Public relations need no padding
+	// (their content is not secret).
+	f.inLeft = append(f.inLeft[:0], newLeft...)
+	f.inLeft = f.padTo(f.inLeft, f.wl.MaxLeft)
+	nLeft := len(f.inLeft)
+	f.inLeft = f.appendPaddedActive(f.inLeft, f.activeLeft, f.activeLeftCap)
+
+	f.inRight = append(f.inRight[:0], newRight...)
 	if !f.wl.RightPublic {
-		newRight = f.padUpload(newRight, f.wl.MaxRight)
+		f.inRight = f.padTo(f.inRight, f.wl.MaxRight)
 	}
+	nRight := len(f.inRight)
+	f.inRight = f.appendPaddedActive(f.inRight, f.activeRight, f.activeRightCap)
 
-	newIDs := make(map[int64]bool, len(newLeft)+len(newRight))
-	for _, r := range newLeft {
-		newIDs[r.ID] = true
+	clear(f.newIDs)
+	for _, r := range f.inLeft[:nLeft] {
+		f.newIDs[r.ID] = true
 	}
-	for _, r := range newRight {
-		newIDs[r.ID] = true
+	for _, r := range f.inRight[:nRight] {
+		f.newIDs[r.ID] = true
 	}
-
-	// The full input is the new upload plus the active windows, each padded
-	// to its public cap so the input size (and thus the protocol's cost and
-	// output size) is data-independent.
-	inLeft := append(append([]oblivious.Record{}, newLeft...), f.padActive(f.activeLeft, f.activeLeftCap)...)
-	inRight := append(append([]oblivious.Record{}, newRight...), f.padActive(f.activeRight, f.activeRightCap)...)
 
 	// The join condition is the view definition's temporal predicate, plus
 	// "at least one side is new" so pairs already produced by an earlier
-	// invocation are not regenerated (applied inside truncatedJoin; both
+	// invocation are not regenerated (applied inside truncatedJoinInto; both
 	// checks compile to constant-size circuits over the secret payloads).
-	joined := f.truncatedJoin(inLeft, inRight, newIDs)
+	joined := oblivious.GetBuffer(workload.JoinArity)
+	f.truncatedJoinInto(joined, f.inLeft, f.inRight)
 
 	// Tighten the exhaustively padded join output to the public
 	// maximum-new-entries bound before caching. Entries beyond the cap (rare
 	// late-shipped pairs) carry over to the next invocation's batch.
 	delta := joined
-	if cap := f.deltaCap(len(newLeft), len(newRight)); cap > 0 {
-		joined = append(append([]oblivious.Entry{}, f.overflow...), joined...)
-		delta, f.overflow = oblivious.TightCompact(joined, cap, f.rt.Meter, mpc.OpTransform, tupleBits)
+	if cap := f.deltaCap(nLeft, nRight); cap > 0 {
+		f.overflow.AppendAll(joined) // carried entries first, then this batch
+		joined.Release()
+		delta = oblivious.GetBuffer(workload.JoinArity)
+		next := oblivious.GetBuffer(workload.JoinArity)
+		oblivious.TightCompactInto(f.overflow, cap, delta, next, f.rt.Meter, mpc.OpTransform, tupleBits)
+		f.overflow.Release()
+		f.overflow = next
 	}
 
 	// Alg. 1 lines 4-6: update and re-share the cardinality counter.
-	newReal := oblivious.CountReal(delta)
+	newReal := delta.Real()
 	c, err := f.rt.RecoverInside(counterKey)
 	if err != nil {
 		panic("core: counter share lost: " + err.Error())
@@ -413,62 +443,75 @@ func (f *Framework) transform(newLeft, newRight []oblivious.Record) {
 
 	// Alg. 1 line 7: append the exhaustively padded output to the cache.
 	f.cache.Append(delta)
-	f.rt.ObserveBatch(len(delta), "transform")
+	f.rt.ObserveBatch(delta.Len(), "transform")
+	delta.Release()
 
 	// Charge contribution budgets: every private input record is consumed
 	// omega for this invocation, then the active sets are rebuilt from the
-	// still-alive, still-in-window records.
-	f.activeLeft = f.retainAlive(inLeft, f.leftBudget, f.leftSince, t)
-	f.activeRight = f.retainAlive(inRight, f.rightBudget, f.rightSince, t)
+	// still-alive, still-in-window records. The input windows already copied
+	// the previous active sets, so the active slices can be rebuilt in
+	// place.
+	f.activeLeft = f.retainAlive(f.activeLeft[:0], f.inLeft, f.leftBudget, f.leftSince, t)
+	f.activeRight = f.retainAlive(f.activeRight[:0], f.inRight, f.rightBudget, f.rightSince, t)
 }
 
-// truncatedJoin runs the omega-truncated oblivious sort-merge join over the
-// inputs, keeping only pairs involving at least one new record (pairs
-// between two previously seen records were emitted by an earlier
+// truncatedJoinInto runs the omega-truncated oblivious sort-merge join over
+// the inputs into dst, keeping only pairs involving at least one new record
+// (pairs between two previously seen records were emitted by an earlier
 // invocation).
-func (f *Framework) truncatedJoin(inLeft, inRight []oblivious.Record, newIDs map[int64]bool) []oblivious.Entry {
+func (f *Framework) truncatedJoinInto(dst *oblivious.Buffer, inLeft, inRight []oblivious.Record) {
 	match := func(l, r oblivious.Record) bool {
-		if !newIDs[l.ID] && !newIDs[r.ID] {
+		if !f.newIDs[l.ID] && !f.newIDs[r.ID] {
 			return false
 		}
 		return f.match(l, r)
 	}
-	return oblivious.TruncatedSortMergeJoin(inLeft, inRight,
+	oblivious.TruncatedSortMergeJoinInto(dst, inLeft, inRight,
 		workload.ColKey, workload.ColKey, match, f.cfg.Omega, f.rt.Meter, mpc.OpTransform)
 }
 
-// padActive pads an active window to its public cap with dummy records.
-// Windows larger than the cap cannot occur (the cap is the exact product of
-// block size and surviving invocations), but clamp defensively.
-func (f *Framework) padActive(rs []oblivious.Record, cap int) []oblivious.Record {
+// appendPaddedActive appends an active window padded to its public cap with
+// dummy records. Windows larger than the cap cannot occur (the cap is the
+// exact product of block size and surviving invocations), but clamp
+// defensively.
+func (f *Framework) appendPaddedActive(dst, active []oblivious.Record, cap int) []oblivious.Record {
 	if cap == 0 {
-		return rs // public relation: no padding
+		return append(dst, active...) // public relation: no padding
 	}
-	if len(rs) >= cap {
-		return rs[:cap]
+	if len(active) > cap {
+		active = active[:cap]
 	}
-	return f.padUpload(rs, cap)
+	dst = append(dst, active...)
+	for n := len(active); n < cap; n++ {
+		dst = append(dst, f.newPadRecord())
+	}
+	return dst
 }
 
-// padUpload fills an upload to the fixed block size with dummy records that
+// padTo fills an upload to the fixed block size with dummy records that
 // carry fresh never-matching keys.
-func (f *Framework) padUpload(rs []oblivious.Record, size int) []oblivious.Record {
-	if len(rs) >= size {
-		return rs
+func (f *Framework) padTo(rs []oblivious.Record, size int) []oblivious.Record {
+	for len(rs) < size {
+		rs = append(rs, f.newPadRecord())
 	}
-	out := make([]oblivious.Record, 0, size)
-	out = append(out, rs...)
-	for len(out) < size {
-		out = append(out, oblivious.Record{ID: f.dummyID, Row: table.Row{f.dummyID, int64(f.now)}})
-		f.dummyID--
-	}
-	return out
+	return rs
 }
 
-// retainAlive consumes omega budget from each input record and keeps those
-// that survive and can still form new pairs (within the temporal window).
-func (f *Framework) retainAlive(in []oblivious.Record, bt *BudgetTracker, since map[int64]int, t int) []oblivious.Record {
-	var out []oblivious.Record
+// newPadRecord mints a padding record whose payload row lives in the
+// per-transform flat arena (f.padRows) instead of its own heap allocation.
+// Padding records never outlive the invocation: retainAlive drops them
+// before the arena is reset.
+func (f *Framework) newPadRecord() oblivious.Record {
+	f.padRows.AppendRow(table.Row{f.dummyID, int64(f.now)})
+	r := oblivious.Record{ID: f.dummyID, Row: f.padRows.Row(f.padRows.Rows() - 1)}
+	f.dummyID--
+	return r
+}
+
+// retainAlive consumes omega budget from each input record and appends the
+// survivors — still alive and still able to form new pairs within the
+// temporal window — to out.
+func (f *Framework) retainAlive(out, in []oblivious.Record, bt *BudgetTracker, since map[int64]int, t int) []oblivious.Record {
 	for _, r := range in {
 		if r.ID < 0 {
 			continue // upload padding never persists
@@ -494,10 +537,11 @@ func (f *Framework) Query() (int, float64) {
 
 // QueryWhere answers an arbitrary predicate-count over the materialized
 // view with one oblivious scan — the execution target of rewritten queries
-// (internal/query). View rows have the layout {left..., right...}.
+// (internal/query). View rows have the layout {left..., right...}; the scan
+// runs over the view arena, handing the predicate zero-copy row views.
 func (f *Framework) QueryWhere(pred table.Predicate) (int, float64) {
 	before := f.rt.Meter.Seconds(mpc.OpQuery)
-	res := oblivious.Count(f.view.Entries(), pred, f.rt.Meter, mpc.OpQuery)
+	res := oblivious.CountBuffer(f.view.Buffer(), pred, f.rt.Meter, mpc.OpQuery)
 	qet := f.rt.Meter.Seconds(mpc.OpQuery) - before
 	f.queries++
 	f.querySecs += qet

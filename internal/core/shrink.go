@@ -4,7 +4,6 @@ import (
 	"math"
 
 	"incshrink/internal/mpc"
-	"incshrink/internal/oblivious"
 	"incshrink/internal/workload"
 )
 
@@ -126,9 +125,10 @@ func (f *Framework) recoverCounter() int {
 func (f *Framework) resetCounter() { f.rt.ShareToServers(counterKey, 0) }
 
 // syncToView performs the common tail of both Shrink protocols: clamp the
-// DP-sized fetch, obliviously sort the cache, cut the prefix into the view
-// (Alg. 2 lines 7-8 / Alg. 3 lines 9-10), then optionally prune the cache
-// tail to its public Theorem-4 bound.
+// DP-sized fetch, obliviously sort the cache, cut the prefix straight into
+// the view arena (Alg. 2 lines 7-8 / Alg. 3 lines 9-10), then optionally
+// prune the cache tail to its public Theorem-4 bound. The fetched slots are
+// copied exactly once, cache arena to view arena.
 func (f *Framework) syncToView(sz int) {
 	if sz < 0 {
 		sz = 0
@@ -136,10 +136,8 @@ func (f *Framework) syncToView(sz int) {
 	if sz > f.cache.Len() {
 		sz = f.cache.Len()
 	}
-	var fetched []oblivious.Entry
 	if f.cfg.PruneTo > 0 {
-		var lost int
-		fetched, lost = f.cache.ReadAndPrune(sz, f.cfg.SpillPerUpdate, f.cfg.PruneTo)
+		lost := f.cache.ReadAndPruneInto(f.view, sz, f.cfg.SpillPerUpdate, f.cfg.PruneTo)
 		f.lostReal += lost
 		if f.cfg.SpillPerUpdate > 0 {
 			// The spill has a publicly fixed size; record it as a
@@ -147,9 +145,8 @@ func (f *Framework) syncToView(sz int) {
 			f.rt.ObserveFlush(f.cfg.SpillPerUpdate, "spill")
 		}
 	} else {
-		fetched = f.cache.Read(sz)
+		f.cache.ReadInto(f.view, sz)
 	}
-	f.view.Update(fetched)
 	f.rt.ObserveFetch(sz, "shrink")
 }
 

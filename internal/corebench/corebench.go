@@ -1,0 +1,35 @@
+// Package corebench defines the canonical data-plane benchmark deployment —
+// the paper-default engine fed a deterministic synthetic stream — shared by
+// the root-package Go benchmarks (core_bench_test.go) and the
+// `incshrink-bench -exp core` report generator, so the two can never
+// measure different workloads.
+package corebench
+
+import "incshrink"
+
+// Deployment describes the benchmark configuration in human-readable form
+// (recorded in BENCH_core.json).
+const Deployment = "ViewDef{Within:10} Options{Epsilon:1.5,T:10,Seed:1}, 3 left + 1 right rows/step"
+
+// Open opens the paper-default deployment.
+func Open() (*incshrink.DB, error) {
+	return incshrink.Open(
+		incshrink.ViewDef{Within: 10},
+		incshrink.Options{Epsilon: 1.5, T: 10, Seed: 1},
+	)
+}
+
+// Step advances db one step with the deterministic synthetic upload: three
+// left rows and one right row joining the first of them within the window.
+func Step(db *incshrink.DB, t int) error {
+	k := int64(t)
+	left := []incshrink.Row{{3 * k, k}, {3*k + 1, k}, {3*k + 2, k}}
+	right := []incshrink.Row{{3 * k, k + 2}}
+	return db.Advance(left, right)
+}
+
+// WhereCond is the filtered-count condition the CountWhere benchmark runs
+// (the paper's Q1 shape).
+func WhereCond() incshrink.Where {
+	return incshrink.Where{Col: "right.time", Minus: "left.time", Cmp: incshrink.Le, Val: 10}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenReportsByteIdentical pins the full evaluation stack to report
+// bytes captured from the pre-columnar (row-oriented, []Entry-based) engine
+// at seed 1: the Buffer refactor is a pure representation change, so Table 2
+// and Figure 4 — every simulated count, error statistic and MPC cost in
+// them — must reproduce the recorded goldens exactly, byte for byte.
+//
+// If this test fails after an intentional semantic change to the protocols
+// or cost model, regenerate the goldens (Params{Steps: 120, Seed: 1}) and
+// say so in the commit; an unintentional failure means the data plane
+// changed observable behavior.
+func TestGoldenReportsByteIdentical(t *testing.T) {
+	p := Params{Steps: 120, Seed: 1, Workers: 1}
+	for _, name := range []string{"table2", "fig4"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden_"+name+"_seed1_steps120.txt")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden: %v", err)
+			}
+			var got bytes.Buffer
+			if err := Registry[name](context.Background(), p, &got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got.Bytes(), want) {
+				t.Errorf("%s output diverged from the pre-refactor golden\n--- got ---\n%s--- want ---\n%s", name, got.String(), want)
+			}
+		})
+	}
+}

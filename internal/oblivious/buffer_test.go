@@ -1,0 +1,310 @@
+package oblivious
+
+import (
+	"math/rand"
+	"testing"
+
+	"incshrink/internal/mpc"
+	"incshrink/internal/table"
+)
+
+func randBuffer(rng *rand.Rand, n int) (*Buffer, []Entry) {
+	es := randEntries(rng, n)
+	return BufferOf(es), es
+}
+
+func entriesEqual(t *testing.T, got, want []Entry) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if !g.Row.Equal(w.Row) || g.IsView != w.IsView || g.Left != w.Left || g.Right != w.Right {
+			t.Fatalf("slot %d: %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestBufferRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	es := randEntries(rng, 37)
+	es[3].Left, es[3].Right = 11, 22
+	b := BufferOf(es)
+	defer b.Release()
+	if b.Len() != 37 || b.Arity() != 2 {
+		t.Fatalf("len=%d arity=%d", b.Len(), b.Arity())
+	}
+	entriesEqual(t, b.Entries(), es)
+	if b.Real() != CountReal(es) || b.Real() != b.ScanReal() {
+		t.Fatalf("real=%d scan=%d want %d", b.Real(), b.ScanReal(), CountReal(es))
+	}
+}
+
+func TestBufferMutationsMaintainRealCounter(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b := GetBuffer(2)
+	defer b.Release()
+	check := func(op string) {
+		t.Helper()
+		if b.Real() != b.ScanReal() {
+			t.Fatalf("after %s: counter %d != scan %d", op, b.Real(), b.ScanReal())
+		}
+	}
+	for i := 0; i < 500; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			b.AppendRow(table.Row{rng.Int63n(50), 1}, int64(i), -1)
+		case 1:
+			b.AppendDummy()
+		case 2:
+			b.AppendEntry(Entry{Row: table.Row{7, 8}, IsView: rng.Intn(2) == 0, Left: -1, Right: -1})
+		case 3:
+			if b.Len() > 0 {
+				b.SetReal(rng.Intn(b.Len()), rng.Intn(2) == 0)
+			}
+		case 4:
+			b.Truncate(rng.Intn(b.Len() + 1))
+		case 5:
+			b.CutPrefix(rng.Intn(b.Len() + 1))
+		case 6:
+			other, _ := randBuffer(rng, rng.Intn(10))
+			b.AppendAll(other)
+			other.Release()
+		case 7:
+			SortBuffer(b, ByIsViewFirstAt, nil, mpc.OpOther, 64)
+		}
+		check("op")
+	}
+}
+
+// TestSortBufferMatchesEntrySort: the columnar sort and the Entry sort share
+// one network enumeration; given the same input and ordering they must
+// produce the identical output order — the invariant behind the
+// byte-identical determinism guarantee of the representation change.
+func TestSortBufferMatchesEntrySort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(150)
+		es := randEntries(rng, n)
+		b := BufferOf(es)
+		Sort(es, ByColumn(0, 1), nil, mpc.OpOther, 64)
+		SortBuffer(b, ByColumnAt(0, 1), nil, mpc.OpOther, 64)
+		entriesEqual(t, b.Entries(), es)
+		b.Release()
+	}
+}
+
+func TestSortBufferChargesLikeEntrySort(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b, _ := randBuffer(rng, 24)
+	defer b.Release()
+	m := mpc.NewMeter(mpc.DefaultCostModel())
+	SortBuffer(b, ByIsViewFirstAt, m, mpc.OpShrink, 128)
+	want := float64(mpc.SortCompareExchanges(24)) * 128 * m.Model().ANDGatesPerCompareExchangeBit
+	if got := m.Gates(mpc.OpShrink); got != want {
+		t.Errorf("charged %v gates, want %v", got, want)
+	}
+	// Tiny buffers charge nothing.
+	m.Reset()
+	one := GetBuffer(2)
+	defer one.Release()
+	one.AppendDummy()
+	SortBuffer(one, ByIsViewFirstAt, m, mpc.OpShrink, 128)
+	if m.TotalGates() != 0 {
+		t.Error("n=1 sort should be free")
+	}
+}
+
+func TestTightCompactIntoMatchesEntryForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		es := randEntries(rng, 40)
+		cap := rng.Intn(50)
+		wantOut, wantOver := TightCompact(es, cap, nil, mpc.OpTransform, 64)
+
+		src := BufferOf(es)
+		dst, over := GetBuffer(2), GetBuffer(2)
+		TightCompactInto(src, cap, dst, over, nil, mpc.OpTransform, 64)
+		entriesEqual(t, dst.Entries(), wantOut)
+		entriesEqual(t, over.Entries(), wantOver)
+		src.Release()
+		dst.Release()
+		over.Release()
+	}
+}
+
+func TestSelectIntoMatchesEntryForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	es := randEntries(rng, 25)
+	pred := func(r table.Row) bool { return r[0]%3 == 0 }
+	want := Select(es, pred, nil, mpc.OpQuery)
+
+	src := BufferOf(es)
+	defer src.Release()
+	dst := GetBuffer(2)
+	defer dst.Release()
+	m := mpc.NewMeter(mpc.DefaultCostModel())
+	SelectInto(dst, src, pred, m, mpc.OpQuery)
+	entriesEqual(t, dst.Entries(), want)
+	entriesEqual(t, src.Entries(), es) // src must be unmodified
+	if m.Gates(mpc.OpQuery) <= 0 {
+		t.Error("selection charged nothing")
+	}
+}
+
+func TestCountBufferMatchesEntryForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	es := randEntries(rng, 33)
+	pred := func(r table.Row) bool { return r[0] < 40 }
+	b := BufferOf(es)
+	defer b.Release()
+	m := mpc.NewMeter(mpc.DefaultCostModel())
+	if got, want := CountBuffer(b, pred, m, mpc.OpQuery), Count(es, pred, nil, mpc.OpQuery); got != want {
+		t.Errorf("CountBuffer = %d, Count = %d", got, want)
+	}
+	if m.Gates(mpc.OpQuery) <= 0 {
+		t.Error("count charged nothing")
+	}
+}
+
+func TestTruncateClamps(t *testing.T) {
+	b := GetBuffer(2)
+	defer b.Release()
+	b.AppendRow(table.Row{1, 2}, -1, -1)
+	b.AppendDummy()
+	if got := b.Truncate(99); got != 0 || b.Len() != 2 {
+		t.Errorf("oversized truncate: dropped=%d len=%d", got, b.Len())
+	}
+	if got := b.Truncate(-3); got != 1 || b.Len() != 0 || b.Real() != 0 {
+		t.Errorf("negative truncate: dropped=%d len=%d real=%d", got, b.Len(), b.Real())
+	}
+}
+
+func TestBufferPoolRecycles(t *testing.T) {
+	b := GetBuffer(5)
+	b.AppendDummy()
+	b.Release()
+	b2 := GetBuffer(5)
+	defer b2.Release()
+	if b2.Len() != 0 || b2.Real() != 0 || b2.Arity() != 5 {
+		t.Errorf("recycled buffer not reset: len=%d real=%d arity=%d", b2.Len(), b2.Real(), b2.Arity())
+	}
+}
+
+func TestAppendJoinConcatenates(t *testing.T) {
+	b := GetBuffer(4)
+	defer b.Release()
+	b.AppendJoin(table.Row{1, 2}, table.Row{3, 4}, 7, 9)
+	if !b.Row(0).Equal(table.Row{1, 2, 3, 4}) {
+		t.Errorf("join row = %v", b.Row(0))
+	}
+	if b.LeftID(0) != 7 || b.RightID(0) != 9 || !b.IsReal(0) {
+		t.Errorf("join slot metadata wrong: %+v", b.Entry(0))
+	}
+}
+
+// Allocation regressions (the pooled-path satellite): warm calls of the
+// columnar sort, joins and compaction must stay off the allocator — a small
+// constant per op at most (pool churn after a GC can add stragglers).
+const maxSteadyAllocs = 8.0
+
+func TestSortBufferSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	b, _ := randBuffer(rng, 512)
+	defer b.Release()
+	avg := testing.AllocsPerRun(100, func() {
+		SortBuffer(b, ByIsViewFirstAt, nil, mpc.OpOther, 64)
+	})
+	if avg > maxSteadyAllocs {
+		t.Errorf("SortBuffer allocates %.1f/op warm, want <= %v", avg, maxSteadyAllocs)
+	}
+}
+
+func TestSMJIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rows1 := make([]table.Row, 64)
+	rows2 := make([]table.Row, 64)
+	for i := range rows1 {
+		rows1[i] = table.Row{int64(rng.Intn(16)), int64(i)}
+		rows2[i] = table.Row{int64(rng.Intn(16)), int64(i)}
+	}
+	r1, r2 := mkRecords(rows1), mkRecords(rows2)
+	dst := GetBuffer(4)
+	defer dst.Release()
+	TruncatedSortMergeJoinInto(dst, r1, r2, 0, 0, nil, 4, nil, mpc.OpTransform) // warm dst arena
+	avg := testing.AllocsPerRun(100, func() {
+		dst.Reset()
+		TruncatedSortMergeJoinInto(dst, r1, r2, 0, 0, nil, 4, nil, mpc.OpTransform)
+	})
+	if avg > maxSteadyAllocs {
+		t.Errorf("TruncatedSortMergeJoinInto allocates %.1f/op warm, want <= %v", avg, maxSteadyAllocs)
+	}
+}
+
+func TestTightCompactIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	src, _ := randBuffer(rng, 256)
+	defer src.Release()
+	dst, over := GetBuffer(2), GetBuffer(2)
+	defer dst.Release()
+	defer over.Release()
+	avg := testing.AllocsPerRun(100, func() {
+		dst.Reset()
+		over.Reset()
+		TightCompactInto(src, 64, dst, over, nil, mpc.OpTransform, 64)
+	})
+	if avg > maxSteadyAllocs {
+		t.Errorf("TightCompactInto allocates %.1f/op warm, want <= %v", avg, maxSteadyAllocs)
+	}
+}
+
+func BenchmarkSortBuffer1K(b *testing.B) {
+	rng := rand.New(rand.NewSource(99))
+	base, _ := randBuffer(rng, 1024)
+	defer base.Release()
+	work := GetBuffer(2)
+	defer work.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work.Reset()
+		work.AppendAll(base)
+		SortBuffer(work, ByIsViewFirstAt, nil, mpc.OpOther, 64)
+	}
+}
+
+func BenchmarkSMJInto128(b *testing.B) {
+	rng := rand.New(rand.NewSource(100))
+	rows1 := make([]table.Row, 128)
+	rows2 := make([]table.Row, 128)
+	for i := range rows1 {
+		rows1[i] = table.Row{int64(rng.Intn(32)), int64(i)}
+		rows2[i] = table.Row{int64(rng.Intn(32)), int64(i)}
+	}
+	r1, r2 := mkRecords(rows1), mkRecords(rows2)
+	dst := GetBuffer(4)
+	defer dst.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Reset()
+		TruncatedSortMergeJoinInto(dst, r1, r2, 0, 0, nil, 4, nil, mpc.OpTransform)
+	}
+}
+
+func BenchmarkTightCompactInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(101))
+	src, _ := randBuffer(rng, 512)
+	defer src.Release()
+	dst, over := GetBuffer(2), GetBuffer(2)
+	defer dst.Release()
+	defer over.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst.Reset()
+		over.Reset()
+		TightCompactInto(src, 128, dst, over, nil, mpc.OpTransform, 64)
+	}
+}

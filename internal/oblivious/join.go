@@ -1,6 +1,8 @@
 package oblivious
 
 import (
+	"sync"
+
 	"incshrink/internal/mpc"
 	"incshrink/internal/table"
 )
@@ -19,6 +21,26 @@ type Record struct {
 // a nil MatchFunc matches every key-equal pair.
 type MatchFunc func(left, right Record) bool
 
+// intsPool recycles the per-invocation contribution counters and key-group
+// windows of the truncated joins.
+var intsPool = sync.Pool{New: func() any { s := make([]int, 0, 256); return &s }}
+
+// getInts borrows a zeroed int slice of length n.
+func getInts(n int) *[]int {
+	p := intsPool.Get().(*[]int)
+	s := (*p)[:0]
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	*p = s
+	return p
+}
+
+func putInts(p *[]int) {
+	*p = (*p)[:0]
+	intsPool.Put(p)
+}
+
 // TruncatedSortMergeJoin implements the b-truncated oblivious sort-merge
 // join of Example 5.1 with truncation bound `bound` (the omega of
 // trans_truncate when used inside Transform):
@@ -35,51 +57,59 @@ type MatchFunc func(left, right Record) bool
 // invocation (Eq. 3); exceeding joins are discarded, which is the source of
 // truncation error studied in Section 7.4. Output rows concatenate the T1
 // and T2 attributes.
+//
+// This Entry form adapts the columnar TruncatedSortMergeJoinInto, which is
+// the engine's hot path.
 func TruncatedSortMergeJoin(t1, t2 []Record, key1, key2 int, match MatchFunc, bound int, meter *mpc.Meter, op mpc.Op) []Entry {
+	dst := GetBuffer(recArity(t1) + recArity(t2))
+	defer dst.Release()
+	TruncatedSortMergeJoinInto(dst, t1, t2, key1, key2, match, bound, meter, op)
+	return dst.Entries()
+}
+
+// TruncatedSortMergeJoinInto is the columnar form of the b-truncated
+// oblivious sort-merge join: output slots are appended to dst, whose arity
+// must equal the concatenated record arities. All intermediates — the tagged
+// sorted union and the contribution counters — come from pools, and output
+// rows are written straight into dst's arena, so a warm call allocates
+// nothing beyond dst's own growth.
+func TruncatedSortMergeJoinInto(dst *Buffer, t1, t2 []Record, key1, key2 int, match MatchFunc, bound int, meter *mpc.Meter, op mpc.Op) {
 	if bound < 1 {
 		bound = 1
 	}
-	arity1, arity2 := recArity(t1), recArity(t2)
-	outArity := arity1 + arity2
+	outArity := dst.Arity()
 
-	// Build the tagged union: columns are (key, tag, srcIndex). The payload
-	// itself stays attached through the scan; srcIndex points back into the
-	// original slices.
-	type tagged struct {
-		key  int64
-		tag  int // 0 for T1, 1 for T2
-		src  int
-		real bool
-	}
-	union := make([]tagged, 0, len(t1)+len(t2))
+	// Build the tagged union as an arity-3 buffer with columns
+	// (key, tag, srcIndex): T1 rows tag 0, T2 rows tag 1. The payloads stay
+	// attached through the scan via srcIndex back into the input slices.
+	adapter := GetBuffer(3)
+	defer adapter.Release()
+	adapter.Grow(len(t1) + len(t2))
 	for i, r := range t1 {
-		union = append(union, tagged{key: r.Row[key1], tag: 0, src: i, real: true})
+		adapter.AppendRow(table.Row{r.Row[key1], 0, int64(i)}, -1, -1)
 	}
 	for i, r := range t2 {
-		union = append(union, tagged{key: r.Row[key2], tag: 1, src: i, real: true})
+		adapter.AppendRow(table.Row{r.Row[key2], 1, int64(i)}, -1, -1)
 	}
 
-	// Oblivious sort of the union on (key, tag). We charge the real network
-	// cost and use the same comparator ordering; executing the actual
-	// Batcher network over the tagged structs would be equivalent, so we
-	// reuse the Entry-based network via a light adapter to keep one
-	// implementation of the network itself.
-	adapter := make([]Entry, len(union))
-	for i, u := range union {
-		adapter[i] = Entry{Row: table.Row{u.key, int64(u.tag), int64(u.src)}, IsView: true}
-	}
-	tupleBits := 64 * (max(arity1, arity2) + 1)
-	Sort(adapter, ByColumn(0, 1), meter, op, tupleBits)
+	// Oblivious sort of the union on (key, tag), charged at the real network
+	// cost for the wider input side plus the key column.
+	tupleBits := 64 * (max(recArity(t1), recArity(t2)) + 1)
+	SortBuffer(adapter, ByColumnAt(0, 1), meter, op, tupleBits)
 
 	// Per-record contribution counters for this invocation.
-	contrib1 := make(map[int]int, len(t1))
-	contrib2 := make(map[int]int, len(t2))
+	contrib1p, contrib2p := getInts(len(t1)), getInts(len(t2))
+	windowp := getInts(0)
+	defer putInts(contrib1p)
+	defer putInts(contrib2p)
+	defer putInts(windowp)
+	contrib1, contrib2 := *contrib1p, *contrib2p
 
-	out := make([]Entry, 0, bound*len(adapter))
-	var window []int // indices into t1 sharing the current key
+	dst.Grow(bound * adapter.Len())
+	window := (*windowp)[:0] // indices into t1 sharing the current key
 	var windowKey int64
-	for _, e := range adapter {
-		key, tag, src := e.Row[0], int(e.Row[1]), int(e.Row[2])
+	for i := 0; i < adapter.Len(); i++ {
+		key, tag, src := adapter.At(i, 0), int(adapter.At(i, 1)), int(adapter.At(i, 2))
 		// A new key group resets the T1 window; the scan only ever needs the
 		// current group because T1 sorts before T2 within a key.
 		if key != windowKey {
@@ -102,25 +132,22 @@ func TruncatedSortMergeJoin(t1, t2 []Record, key1, key2 int, match MatchFunc, bo
 				if match != nil && !match(l, r) {
 					continue
 				}
-				j := make(table.Row, 0, outArity)
-				j = append(j, l.Row...)
-				j = append(j, r.Row...)
-				out = append(out, Entry{Row: j, IsView: true, Left: l.ID, Right: r.ID})
+				dst.AppendJoin(l.Row, r.Row, l.ID, r.ID)
 				contrib1[li]++
 				contrib2[src]++
 				emitted++
 			}
 		}
 		for ; emitted < bound; emitted++ {
-			out = append(out, Dummy(outArity))
+			dst.AppendDummy()
 		}
 	}
+	*windowp = window
 	// The emit loop above touches each slot exactly once; charge the output
 	// linear scan (predicate + conditional copy per slot).
 	if meter != nil {
-		meter.ChargeScan(op, len(out), 64*outArity)
+		meter.ChargeScan(op, bound*adapter.Len(), 64*outArity)
 	}
-	return out
 }
 
 func recArity(rs []Record) int {
@@ -134,16 +161,29 @@ func recArity(rs []Record) int {
 // the whole inner relation, emit a join entry when both tuples still have
 // contribution budget and the keys (and match predicate) agree, then
 // obliviously sort the per-outer intermediate array and keep its first
-// `bound` slots. The output length is exactly bound*len(t1).
+// `bound` slots. The output length is exactly bound*len(t1). This Entry form
+// adapts the columnar TruncatedNestedLoopJoinInto.
 func TruncatedNestedLoopJoin(t1, t2 []Record, key1, key2 int, match MatchFunc, bound int, meter *mpc.Meter, op mpc.Op) []Entry {
+	dst := GetBuffer(recArity(t1) + recArity(t2))
+	defer dst.Release()
+	TruncatedNestedLoopJoinInto(dst, t1, t2, key1, key2, match, bound, meter, op)
+	return dst.Entries()
+}
+
+// TruncatedNestedLoopJoinInto is the columnar form of Algorithm 4; output
+// slots are appended to dst, whose arity must equal the concatenated record
+// arities. The per-outer intermediate array is a single pooled buffer reused
+// across outer tuples.
+func TruncatedNestedLoopJoinInto(dst *Buffer, t1, t2 []Record, key1, key2 int, match MatchFunc, bound int, meter *mpc.Meter, op mpc.Op) {
 	if bound < 1 {
 		bound = 1
 	}
-	arity1, arity2 := recArity(t1), recArity(t2)
-	outArity := arity1 + arity2
+	outArity := dst.Arity()
 
-	budget1 := make([]int, len(t1))
-	budget2 := make([]int, len(t2))
+	budget1p, budget2p := getInts(len(t1)), getInts(len(t2))
+	defer putInts(budget1p)
+	defer putInts(budget2p)
+	budget1, budget2 := *budget1p, *budget2p
 	for i := range budget1 {
 		budget1[i] = bound
 	}
@@ -151,9 +191,12 @@ func TruncatedNestedLoopJoin(t1, t2 []Record, key1, key2 int, match MatchFunc, b
 		budget2[i] = bound
 	}
 
-	out := make([]Entry, 0, bound*len(t1))
+	oi := GetBuffer(outArity)
+	defer oi.Release()
+	dst.Grow(bound * len(t1))
 	for i, l := range t1 {
-		oi := make([]Entry, 0, len(t2))
+		oi.Reset()
+		oi.Grow(len(t2))
 		for j, r := range t2 {
 			if meter != nil {
 				meter.ChargeEqualities(op, 1, 64)
@@ -161,33 +204,30 @@ func TruncatedNestedLoopJoin(t1, t2 []Record, key1, key2 int, match MatchFunc, b
 			if budget1[i] > 0 && budget2[j] > 0 &&
 				l.Row[key1] == r.Row[key2] &&
 				(match == nil || match(l, r)) {
-				row := make(table.Row, 0, outArity)
-				row = append(row, l.Row...)
-				row = append(row, r.Row...)
-				oi = append(oi, Entry{Row: row, IsView: true, Left: l.ID, Right: r.ID})
+				oi.AppendJoin(l.Row, r.Row, l.ID, r.ID)
 				budget1[i]--
 				budget2[j]--
 			} else {
-				oi = append(oi, Dummy(outArity))
+				oi.AppendDummy()
 			}
 		}
 		// Alg 4:12-13 — oblivious sort of the intermediate array, keep b.
-		Sort(oi, ByIsViewFirst, meter, op, 64*outArity)
+		SortBuffer(oi, ByIsViewFirstAt, meter, op, 64*outArity)
 		for k := 0; k < bound; k++ {
-			if k < len(oi) {
-				out = append(out, oi[k])
+			if k < oi.Len() {
+				dst.AppendFrom(oi, k)
 			} else {
-				out = append(out, Dummy(outArity))
+				dst.AppendDummy()
 			}
 		}
 	}
-	return out
 }
 
 // Select implements the oblivious selection of Appendix A.1.1: the output is
 // the input array itself (same length — full obliviousness), with the isView
 // bit set only for real entries satisfying the predicate. Each input record
-// contributes at most once, so no truncation machinery is needed.
+// contributes at most once, so no truncation machinery is needed. The
+// columnar form is SelectInto.
 func Select(es []Entry, pred table.Predicate, meter *mpc.Meter, op mpc.Op) []Entry {
 	out := make([]Entry, len(es))
 	bits := 0
@@ -206,7 +246,8 @@ func Select(es []Entry, pred table.Predicate, meter *mpc.Meter, op mpc.Op) []Ent
 
 // Count performs a secure aggregate count over a padded array: a single
 // oblivious scan accumulating pred over real entries. This is the query
-// operator used for the paper's Q1/Q2 once the view is materialized.
+// operator used for the paper's Q1/Q2 once the view is materialized. The
+// columnar form is CountBuffer.
 func Count(es []Entry, pred table.Predicate, meter *mpc.Meter, op mpc.Op) int {
 	bits := 0
 	if len(es) > 0 {

@@ -89,6 +89,10 @@ func ByColumn(col, tagCol int) Less {
 // network layout depends only on len(es); the comparator count equals
 // mpc.SortCompareExchanges(len(es)) exactly (verified in tests). tupleBits
 // is the secret payload width per element.
+//
+// Sort and the columnar SortBuffer share one enumeration of the network
+// (batcherNetwork), so the two representations produce identical orders and
+// identical access patterns.
 func Sort(es []Entry, less Less, meter *mpc.Meter, op mpc.Op, tupleBits int) {
 	n := len(es)
 	if n <= 1 {
@@ -97,13 +101,24 @@ func Sort(es []Entry, less Less, meter *mpc.Meter, op mpc.Op, tupleBits int) {
 	if meter != nil {
 		meter.ChargeSort(op, n, tupleBits)
 	}
+	batcherNetwork(n, func(i, j int) {
+		if less(es[j], es[i]) {
+			es[i], es[j] = es[j], es[i]
+		}
+	})
+}
+
+// batcherNetwork enumerates the comparators of Batcher's odd-even merge
+// sorting network for n elements, invoking cmpSwap(i, j) with i < j for each
+// one. The enumeration is the standard iterative network on the
+// next-power-of-two index range; comparators touching indices >= n are
+// skipped consistently for every input of this length, so the pattern stays
+// data-independent.
+func batcherNetwork(n int, cmpSwap func(i, j int)) {
 	p2 := 1
 	for p2 < n {
 		p2 <<= 1
 	}
-	// Standard iterative odd-even merge sort on the padded index range;
-	// comparators touching indices >= n are skipped consistently for every
-	// input of this length, so the pattern stays data-independent.
 	for p := 1; p < p2; p <<= 1 {
 		for k := p; k >= 1; k >>= 1 {
 			for j := k % p; j <= p2-1-k; j += 2 * k {
@@ -115,16 +130,10 @@ func Sort(es []Entry, less Less, meter *mpc.Meter, op mpc.Op, tupleBits int) {
 					if b >= n {
 						continue
 					}
-					compareExchange(es, a, b, less)
+					cmpSwap(a, b)
 				}
 			}
 		}
-	}
-}
-
-func compareExchange(es []Entry, i, j int, less Less) {
-	if less(es[j], es[i]) {
-		es[i], es[j] = es[j], es[i]
 	}
 }
 

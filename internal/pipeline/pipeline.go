@@ -140,8 +140,12 @@ func AllocateGrid(ops []OperatorSpec, totalEps float64, resolution int) ([]float
 // Stage is one level of a multi-level Transform-and-Shrink pipeline: an
 // operator (filter today; the join case is the root IncShrink framework)
 // with its own secure cache, DP-sized synchronization and epsilon share.
+// Stage batches are columnar oblivious.Buffers, like the root engine's data
+// plane.
 type Stage struct {
 	Name string
+	// Arity is the payload attributes per slot flowing through the stage.
+	Arity int
 	// Pred is the stage's selection predicate.
 	Pred table.Predicate
 	// Epsilon is the stage's allocated privacy budget.
@@ -159,8 +163,11 @@ type Stage struct {
 	meter   *mpc.Meter
 }
 
-// NewStage builds a pipeline stage.
-func NewStage(name string, pred table.Predicate, eps, sensitivity float64, every int, rng dp.RNG, meter *mpc.Meter) (*Stage, error) {
+// NewStage builds a pipeline stage for slots of the given payload arity.
+func NewStage(name string, arity int, pred table.Predicate, eps, sensitivity float64, every int, rng dp.RNG, meter *mpc.Meter) (*Stage, error) {
+	if arity < 0 {
+		return nil, fmt.Errorf("pipeline: stage %s needs a non-negative arity", name)
+	}
 	if eps <= 0 || sensitivity <= 0 {
 		return nil, fmt.Errorf("pipeline: stage %s needs positive epsilon and sensitivity", name)
 	}
@@ -171,29 +178,33 @@ func NewStage(name string, pred table.Predicate, eps, sensitivity float64, every
 		return nil, fmt.Errorf("pipeline: stage %s needs a predicate", name)
 	}
 	return &Stage{
-		Name: name, Pred: pred, Epsilon: eps, Sensitivity: sensitivity, Every: every,
-		cache: securearray.New(256, meter),
-		out:   securearray.NewView(),
+		Name: name, Arity: arity, Pred: pred, Epsilon: eps, Sensitivity: sensitivity, Every: every,
+		cache: securearray.New(arity, 256, meter),
+		out:   securearray.NewView(arity),
 		rng:   rng,
 		meter: meter,
 	}, nil
 }
 
 // Ingest runs the stage's oblivious transform over an incoming padded batch
-// (the upstream stage's synchronized output) and caches the result.
-func (s *Stage) Ingest(batch []oblivious.Entry) {
-	if len(batch) == 0 {
+// (the upstream stage's synchronized output) and caches the result. The
+// batch is read, not consumed; the caller keeps ownership.
+func (s *Stage) Ingest(batch *oblivious.Buffer) {
+	if batch == nil || batch.Len() == 0 {
 		return
 	}
-	filtered := oblivious.Select(batch, s.Pred, s.meter, mpc.OpTransform)
-	s.counter += oblivious.CountReal(filtered)
+	filtered := oblivious.GetBuffer(s.Arity)
+	defer filtered.Release()
+	oblivious.SelectInto(filtered, batch, s.Pred, s.meter, mpc.OpTransform)
+	s.counter += filtered.Real()
 	s.cache.Append(filtered)
 }
 
 // Tick advances the stage clock; on its schedule it synchronizes a DP-sized
 // batch from its cache into its output and returns that batch (the input to
-// the next stage). Returns nil between synchronizations.
-func (s *Stage) Tick() []oblivious.Entry {
+// the next stage) in a pooled buffer owned by the caller — Release it when
+// done. Returns nil between synchronizations.
+func (s *Stage) Tick() *oblivious.Buffer {
 	s.ticks++
 	if s.ticks%s.Every != 0 {
 		return nil
@@ -218,29 +229,41 @@ type Pipeline struct {
 	stages []*Stage
 }
 
-// NewPipeline validates and assembles the chain.
+// NewPipeline validates and assembles the chain. Adjacent stages must agree
+// on the slot arity: each stage's synchronized output feeds the next
+// stage's buffers.
 func NewPipeline(stages ...*Stage) (*Pipeline, error) {
 	if len(stages) == 0 {
 		return nil, errors.New("pipeline: need at least one stage")
 	}
-	for _, s := range stages {
+	for i, s := range stages {
 		if s == nil {
 			return nil, errors.New("pipeline: nil stage")
+		}
+		if i > 0 && s.Arity != stages[i-1].Arity {
+			return nil, fmt.Errorf("pipeline: stage %s arity %d does not match upstream stage %s arity %d",
+				s.Name, s.Arity, stages[i-1].Name, stages[i-1].Arity)
 		}
 	}
 	return &Pipeline{stages: stages}, nil
 }
 
-// Ingest feeds a batch to the first stage.
-func (p *Pipeline) Ingest(batch []oblivious.Entry) { p.stages[0].Ingest(batch) }
+// Ingest feeds a batch to the first stage (read, not consumed).
+func (p *Pipeline) Ingest(batch *oblivious.Buffer) { p.stages[0].Ingest(batch) }
 
-// Tick advances every stage, cascading synchronized outputs downstream.
+// Tick advances every stage, cascading synchronized outputs downstream. The
+// intermediate batches are pooled buffers released as soon as the next
+// stage has copied them.
 func (p *Pipeline) Tick() {
 	for i, s := range p.stages {
 		batch := s.Tick()
-		if len(batch) > 0 && i+1 < len(p.stages) {
+		if batch == nil {
+			continue
+		}
+		if batch.Len() > 0 && i+1 < len(p.stages) {
 			p.stages[i+1].Ingest(batch)
 		}
+		batch.Release()
 	}
 }
 

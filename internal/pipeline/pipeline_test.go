@@ -153,13 +153,13 @@ func TestAllocateGridValidation(t *testing.T) {
 	}
 }
 
-func mkBatch(n int, realEvery int) []oblivious.Entry {
-	out := make([]oblivious.Entry, n)
-	for i := range out {
+func mkBatch(n int, realEvery int) *oblivious.Buffer {
+	out := oblivious.GetBuffer(2)
+	for i := 0; i < n; i++ {
 		if i%realEvery == 0 {
-			out[i] = oblivious.Entry{Row: table.Row{int64(i), int64(i % 7)}, IsView: true}
+			out.AppendRow(table.Row{int64(i), int64(i % 7)}, -1, -1)
 		} else {
-			out[i] = oblivious.Dummy(2)
+			out.AppendDummy()
 		}
 	}
 	return out
@@ -169,16 +169,16 @@ func TestStageValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	meter := mpc.NewMeter(mpc.DefaultCostModel())
 	pred := func(table.Row) bool { return true }
-	if _, err := NewStage("x", pred, 0, 1, 1, rng, meter); err == nil {
+	if _, err := NewStage("x", 2, pred, 0, 1, 1, rng, meter); err == nil {
 		t.Error("zero epsilon accepted")
 	}
-	if _, err := NewStage("x", pred, 1, 0, 1, rng, meter); err == nil {
+	if _, err := NewStage("x", 2, pred, 1, 0, 1, rng, meter); err == nil {
 		t.Error("zero sensitivity accepted")
 	}
-	if _, err := NewStage("x", pred, 1, 1, 0, rng, meter); err == nil {
+	if _, err := NewStage("x", 2, pred, 1, 1, 0, rng, meter); err == nil {
 		t.Error("zero interval accepted")
 	}
-	if _, err := NewStage("x", nil, 1, 1, 1, rng, meter); err == nil {
+	if _, err := NewStage("x", 2, nil, 1, 1, 1, rng, meter); err == nil {
 		t.Error("nil predicate accepted")
 	}
 }
@@ -186,15 +186,18 @@ func TestStageValidation(t *testing.T) {
 func TestStageSynchronizesOnSchedule(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	meter := mpc.NewMeter(mpc.DefaultCostModel())
-	st, err := NewStage("filter", func(r table.Row) bool { return r[1] < 3 }, 5.0, 1, 4, rng, meter)
+	st, err := NewStage("filter", 2, func(r table.Row) bool { return r[1] < 3 }, 5.0, 1, 4, rng, meter)
 	if err != nil {
 		t.Fatal(err)
 	}
 	syncs := 0
 	for tick := 0; tick < 40; tick++ {
-		st.Ingest(mkBatch(20, 2))
+		in := mkBatch(20, 2)
+		st.Ingest(in)
+		in.Release()
 		if batch := st.Tick(); batch != nil {
 			syncs++
+			batch.Release()
 			if (tick+1)%4 != 0 {
 				t.Fatalf("sync at off-schedule tick %d", tick)
 			}
@@ -211,8 +214,8 @@ func TestStageSynchronizesOnSchedule(t *testing.T) {
 func TestPipelineCascades(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	meter := mpc.NewMeter(mpc.DefaultCostModel())
-	s1, _ := NewStage("keyRange", func(r table.Row) bool { return r[0] < 40 }, 5, 1, 2, rng, meter)
-	s2, _ := NewStage("modFilter", func(r table.Row) bool { return r[1]%2 == 0 }, 5, 1, 4, rng, meter)
+	s1, _ := NewStage("keyRange", 2, func(r table.Row) bool { return r[0] < 40 }, 5, 1, 2, rng, meter)
+	s2, _ := NewStage("modFilter", 2, func(r table.Row) bool { return r[1]%2 == 0 }, 5, 1, 4, rng, meter)
 	p, err := NewPipeline(s1, s2)
 	if err != nil {
 		t.Fatal(err)
@@ -221,7 +224,9 @@ func TestPipelineCascades(t *testing.T) {
 		t.Error("stage count wrong")
 	}
 	for tick := 0; tick < 64; tick++ {
-		p.Ingest(mkBatch(16, 2))
+		in := mkBatch(16, 2)
+		p.Ingest(in)
+		in.Release()
 		p.Tick()
 	}
 	final := p.Final()
@@ -246,11 +251,19 @@ func TestPipelineValidation(t *testing.T) {
 	if _, err := NewPipeline(nil); err == nil {
 		t.Error("nil stage accepted")
 	}
+	rng := rand.New(rand.NewSource(9))
+	meter := mpc.NewMeter(mpc.DefaultCostModel())
+	pred := func(table.Row) bool { return true }
+	a, _ := NewStage("a", 4, pred, 1, 1, 1, rng, meter)
+	b, _ := NewStage("b", 2, pred, 1, 1, 1, rng, meter)
+	if _, err := NewPipeline(a, b); err == nil {
+		t.Error("arity-mismatched chain accepted")
+	}
 }
 
 func TestStageIngestEmpty(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	st, _ := NewStage("x", func(table.Row) bool { return true }, 1, 1, 1, rng, mpc.NewMeter(mpc.DefaultCostModel()))
+	st, _ := NewStage("x", 2, func(table.Row) bool { return true }, 1, 1, 1, rng, mpc.NewMeter(mpc.DefaultCostModel()))
 	st.Ingest(nil) // must not panic or count anything
 	if st.cache.Len() != 0 {
 		t.Error("empty ingest grew the cache")

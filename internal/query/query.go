@@ -163,6 +163,16 @@ func (c *Compiled) Execute(view []oblivious.Entry, meter *mpc.Meter) int {
 	return oblivious.Count(view, c.Predicate(), meter, mpc.OpQuery)
 }
 
+// ExecuteBuffer answers the query over a columnar view arena with one
+// oblivious scan — the Buffer-form counterpart of Execute for callers that
+// hold a view arena directly (the engine's own query path routes the same
+// compiled predicate through core.Framework.QueryWhere, which additionally
+// tracks per-engine query metrics). The predicate evaluates against
+// zero-copy row views into the arena.
+func (c *Compiled) ExecuteBuffer(view *oblivious.Buffer, meter *mpc.Meter) int {
+	return oblivious.CountBuffer(view, c.Predicate(), meter, mpc.OpQuery)
+}
+
 // Oracle answers the query over plaintext logical join rows — the ground
 // truth for L1 error measurement.
 func (c *Compiled) Oracle(rows []table.Row) int {

@@ -93,6 +93,17 @@ func TestExecuteCountsOnlyMatchingReals(t *testing.T) {
 	if m.Gates(mpc.OpQuery) <= 0 {
 		t.Error("execution charged no gates")
 	}
+	// The Buffer form must agree with the Entry form and charge the meter
+	// identically.
+	buf := oblivious.BufferOf(es)
+	defer buf.Release()
+	m2 := mpc.NewMeter(mpc.DefaultCostModel())
+	if got := c.ExecuteBuffer(buf, m2); got != 2 {
+		t.Errorf("ExecuteBuffer = %d, want 2", got)
+	}
+	if m2.Gates(mpc.OpQuery) != m.Gates(mpc.OpQuery) {
+		t.Errorf("ExecuteBuffer charged %v gates, Execute charged %v", m2.Gates(mpc.OpQuery), m.Gates(mpc.OpQuery))
+	}
 }
 
 func TestDummySlotsNeverCount(t *testing.T) {

@@ -9,6 +9,13 @@
 // recycling the remainder; Section 5.2.1). Reads always fetch real tuples
 // before dummies, which is what lets Shrink discard dummy volume without
 // learning which slots were real.
+//
+// Both the cache and the materialized view are backed by columnar
+// oblivious.Buffer arenas. Synchronization paths that feed the view
+// (ReadInto, FlushInto, ReadAndPruneInto, DrainInto) cut a prefix of the
+// sorted cache directly into the view arena — one copy, no intermediate
+// slice — and every real-tuple count is maintained incrementally, so Real()
+// is O(1) on the serving read path.
 package securearray
 
 import (
@@ -20,8 +27,8 @@ import (
 
 // Cache is the secure outsourced cache sigma.
 type Cache struct {
-	entries []oblivious.Entry
-	meter   *mpc.Meter
+	buf   *oblivious.Buffer
+	meter *mpc.Meter
 	// tupleBits is the secret payload width per slot, fixed at construction
 	// so all slots are indistinguishable.
 	tupleBits int
@@ -32,30 +39,46 @@ type Cache struct {
 	maxLen  int
 }
 
-// New creates an empty cache whose slots carry tupleBits of payload. The
-// meter (may be nil) is charged for every oblivious operation.
-func New(tupleBits int, meter *mpc.Meter) *Cache {
-	return &Cache{tupleBits: tupleBits, meter: meter}
+// New creates an empty cache for slots of the given payload arity, each
+// carrying tupleBits of secret payload. The meter (may be nil) is charged
+// for every oblivious operation.
+func New(arity, tupleBits int, meter *mpc.Meter) *Cache {
+	return &Cache{buf: oblivious.NewBuffer(arity, 0), tupleBits: tupleBits, meter: meter}
 }
 
 // Append writes an exhaustively padded batch to the tail of the cache
 // (Alg. 1 line 7). The batch length is public by construction — it depends
-// only on the upload size and the truncation bound.
-func (c *Cache) Append(batch []oblivious.Entry) {
-	c.entries = append(c.entries, batch...)
+// only on the upload size and the truncation bound. The batch is copied into
+// the cache arena; the caller keeps ownership (and may Release it).
+func (c *Cache) Append(batch *oblivious.Buffer) {
+	c.buf.AppendAll(batch)
 	c.appends++
-	if len(c.entries) > c.maxLen {
-		c.maxLen = len(c.entries)
+	if c.buf.Len() > c.maxLen {
+		c.maxLen = c.buf.Len()
+	}
+}
+
+// AppendEntries is Append for Entry-form batches (test and diagnostic use).
+func (c *Cache) AppendEntries(batch []oblivious.Entry) {
+	c.buf.AppendEntries(batch)
+	c.appends++
+	if c.buf.Len() > c.maxLen {
+		c.maxLen = c.buf.Len()
 	}
 }
 
 // Len returns the current number of slots (real + dummy).
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int { return c.buf.Len() }
 
-// Real returns the number of real (isView) tuples currently cached. In the
-// deployed system this value exists only as the secret-shared counter; it is
-// exposed here for the simulator's bookkeeping and for tests.
-func (c *Cache) Real() int { return oblivious.CountReal(c.entries) }
+// Real returns the number of real (isView) tuples currently cached, from the
+// incrementally maintained counter — O(1). In the deployed system this value
+// exists only as the secret-shared counter; it is exposed here for the
+// simulator's bookkeeping, the serving stats path and tests.
+func (c *Cache) Real() int { return c.buf.Real() }
+
+// ScanReal recounts the real tuples with a full scan, for tests that pin the
+// maintained counter against the ground truth.
+func (c *Cache) ScanReal() int { return c.buf.ScanReal() }
 
 // MaxLen returns the high-water mark of the cache length.
 func (c *Cache) MaxLen() int { return c.maxLen }
@@ -65,34 +88,72 @@ func (c *Cache) Stats() (appends, reads, flushes int) {
 	return c.appends, c.reads, c.flushes
 }
 
+// sortRealFirst obliviously sorts the cache so real tuples lead (the shared
+// first phase of every read-class operation; Figure 3).
+func (c *Cache) sortRealFirst() {
+	oblivious.SortBuffer(c.buf, oblivious.ByIsViewFirstAt, c.meter, mpc.OpShrink, c.tupleBits)
+}
+
+func clampSize(size, n int) int {
+	if size < 0 {
+		return 0
+	}
+	if size > n {
+		return n
+	}
+	return size
+}
+
 // Read performs the secure cache read of Figure 3: obliviously sort so real
 // tuples lead, cut the first size slots off as the fetched batch, and keep
 // the remainder. size is clamped to [0, Len]. The caller reveals only size
-// (the DP-protected cardinality).
-func (c *Cache) Read(size int) []oblivious.Entry {
-	fetched, rest := oblivious.Compact(c.entries, size, c.meter, mpc.OpShrink, c.tupleBits)
-	c.entries = rest
+// (the DP-protected cardinality). The fetched batch is returned in a pooled
+// buffer owned by the caller (Release it when done); ReadInto is the
+// zero-intermediate path when the destination is a view.
+func (c *Cache) Read(size int) *oblivious.Buffer {
+	c.sortRealFirst()
+	size = clampSize(size, c.buf.Len())
+	fetched := oblivious.GetBuffer(c.buf.Arity())
+	fetched.AppendRange(c.buf, 0, size)
+	c.buf.CutPrefix(size)
 	c.reads++
 	return fetched
 }
 
-// Flush performs the cache-flush of Section 5.2.1: fetch exactly size slots
-// off the head of the sorted cache and recycle (drop) everything else. With
-// a flush size chosen by dp.FlushSizeFor, the recycled slots are all dummies
-// except with small probability beta. It returns the fetched slots and the
-// number of real tuples that were lost to recycling (0 in the common case;
-// surfaced so experiments can report it).
-func (c *Cache) Flush(size int) (fetched []oblivious.Entry, lostReal int) {
-	fetched, rest := oblivious.Compact(c.entries, size, c.meter, mpc.OpShrink, c.tupleBits)
-	lostReal = oblivious.CountReal(rest)
-	c.entries = nil
-	c.flushes++
-	return fetched, lostReal
+// ReadInto performs the same secure cache read but appends the fetched
+// prefix directly into the view arena — one copy, no intermediate buffer.
+func (c *Cache) ReadInto(v *View, size int) {
+	c.sortRealFirst()
+	size = clampSize(size, c.buf.Len())
+	v.buf.AppendRange(c.buf, 0, size)
+	v.updates++
+	c.buf.CutPrefix(size)
+	c.reads++
 }
 
-// ReadAndPrune performs the view synchronization, a bounded deferred-data
-// spill, and the incremental cache cap under a single oblivious sort. The
-// sorted (real-first) cache splits into four public-length segments:
+// FlushInto performs the cache-flush of Section 5.2.1: fetch exactly size
+// slots off the head of the sorted cache into the view and recycle (drop)
+// everything else. With a flush size chosen by dp.FlushSizeFor, the recycled
+// slots are all dummies except with small probability beta. It returns the
+// fetched slot count (size clamped to the cache length — the public flush
+// observation) and the number of real tuples lost to recycling (0 in the
+// common case; surfaced so experiments can report it).
+func (c *Cache) FlushInto(v *View, size int) (fetched, lostReal int) {
+	c.sortRealFirst()
+	size = clampSize(size, c.buf.Len())
+	v.buf.AppendRange(c.buf, 0, size)
+	v.updates++
+	c.buf.CutPrefix(size)
+	lostReal = c.buf.Real()
+	c.buf.Reset()
+	c.flushes++
+	return size, lostReal
+}
+
+// ReadAndPruneInto performs the view synchronization, a bounded
+// deferred-data spill, and the incremental cache cap under a single
+// oblivious sort. The sorted (real-first) cache splits into four
+// public-length segments:
 //
 //	[0:size)                the DP-sized fetch (Alg. 2:8 / Alg. 3:10)
 //	[size:size+spill)       a fixed-size spill, also appended to the view —
@@ -105,39 +166,40 @@ func (c *Cache) Flush(size int) (fetched []oblivious.Entry, lostReal int) {
 //
 // All three cut points are public (size is the DP release; spill and keep
 // are configuration constants), so the operation leaks nothing beyond the
-// DP outputs. Returns the combined view batch and the number of real tuples
-// recycled.
-func (c *Cache) ReadAndPrune(size, spill, keep int) (fetched []oblivious.Entry, lostReal int) {
-	fetched, rest := oblivious.Compact(c.entries, size, c.meter, mpc.OpShrink, c.tupleBits)
-	c.reads++
+// DP outputs. The combined fetch goes straight into the view arena; the
+// surviving segment stays in place (a prefix cut, no reallocation). Returns
+// the number of real tuples recycled.
+func (c *Cache) ReadAndPruneInto(v *View, size, spill, keep int) (lostReal int) {
+	c.sortRealFirst()
+	size = clampSize(size, c.buf.Len())
 	if spill < 0 {
 		spill = 0
 	}
-	if spill > len(rest) {
-		spill = len(rest)
+	if size+spill > c.buf.Len() {
+		spill = c.buf.Len() - size
 	}
-	fetched = append(fetched, rest[:spill]...)
-	rest = rest[spill:]
+	v.buf.AppendRange(c.buf, 0, size+spill)
+	v.updates++
+	c.buf.CutPrefix(size + spill)
+	c.reads++
 	if keep < 0 {
 		keep = 0
 	}
-	if keep < len(rest) {
-		lostReal = oblivious.CountReal(rest[keep:])
-		rest = rest[:keep:keep]
+	if keep < c.buf.Len() {
+		lostReal = c.buf.Truncate(keep)
 		c.flushes++
 	}
-	c.entries = append([]oblivious.Entry(nil), rest...)
-	return fetched, lostReal
+	return lostReal
 }
 
-// Drain removes and returns every slot without sorting. Moving the entire
-// cache needs no oblivious reordering (nothing about the data is revealed by
-// a full move); baselines that synchronize everything use this.
-func (c *Cache) Drain() []oblivious.Entry {
-	out := c.entries
-	c.entries = nil
+// DrainInto moves every slot into the view without sorting. Moving the
+// entire cache needs no oblivious reordering (nothing about the data is
+// revealed by a full move); baselines that synchronize everything use this.
+func (c *Cache) DrainInto(v *View) {
+	v.buf.AppendAll(c.buf)
+	v.updates++
+	c.buf.Reset()
 	c.reads++
-	return out
 }
 
 // Prune sorts the cache and recycles every slot beyond keep, retaining only
@@ -148,22 +210,18 @@ func (c *Cache) Prune(keep int) (lostReal int) {
 	if keep < 0 {
 		keep = 0
 	}
-	if keep >= len(c.entries) {
+	if keep >= c.buf.Len() {
 		return 0
 	}
-	head, rest := oblivious.Compact(c.entries, keep, c.meter, mpc.OpShrink, c.tupleBits)
-	lostReal = oblivious.CountReal(rest)
-	c.entries = head
+	c.sortRealFirst()
+	lostReal = c.buf.Truncate(keep)
 	c.flushes++
 	return lostReal
 }
 
-// Snapshot returns a copy of the current slots, for invariant checks.
-func (c *Cache) Snapshot() []oblivious.Entry {
-	out := make([]oblivious.Entry, len(c.entries))
-	copy(out, c.entries)
-	return out
-}
+// Snapshot returns an Entry-form copy of the current slots, for invariant
+// checks.
+func (c *Cache) Snapshot() []oblivious.Entry { return c.buf.Entries() }
 
 // String summarizes the cache for logs.
 func (c *Cache) String() string {
@@ -173,33 +231,50 @@ func (c *Cache) String() string {
 // View is the materialized view object V: an append-only padded array the
 // servers answer queries from. Unlike the cache it is never resorted or
 // shrunk; Shrink appends DP-sized batches, so the view length itself is a
-// function of the DP outputs only.
+// function of the DP outputs only. Like the cache it is a columnar arena
+// with an incrementally maintained real-tuple counter.
 type View struct {
-	entries []oblivious.Entry
+	buf     *oblivious.Buffer
 	updates int
 }
 
-// NewView creates an empty materialized view.
-func NewView() *View { return &View{} }
+// NewView creates an empty materialized view for rows of the given arity.
+func NewView(arity int) *View { return &View{buf: oblivious.NewBuffer(arity, 0)} }
 
 // Update appends a synchronized batch o (Alg. 2 line 8 / Alg. 3 line 10:
-// V <- V u o).
-func (v *View) Update(batch []oblivious.Entry) {
-	v.entries = append(v.entries, batch...)
+// V <- V u o). The batch is copied; the caller keeps ownership.
+func (v *View) Update(batch *oblivious.Buffer) {
+	v.buf.AppendAll(batch)
+	v.updates++
+}
+
+// UpdateEntries is Update for Entry-form batches (test and diagnostic use).
+func (v *View) UpdateEntries(batch []oblivious.Entry) {
+	v.buf.AppendEntries(batch)
 	v.updates++
 }
 
 // Len returns the number of slots in the view (real + dummy).
-func (v *View) Len() int { return len(v.entries) }
+func (v *View) Len() int { return v.buf.Len() }
 
-// Real returns the number of real tuples (simulator bookkeeping only).
-func (v *View) Real() int { return oblivious.CountReal(v.entries) }
+// Real returns the number of real tuples from the maintained counter — O(1)
+// (simulator bookkeeping and the serving stats path).
+func (v *View) Real() int { return v.buf.Real() }
+
+// ScanReal recounts the real tuples with a full scan, for counter-pinning
+// tests.
+func (v *View) ScanReal() int { return v.buf.ScanReal() }
 
 // Updates returns the number of Update calls.
 func (v *View) Updates() int { return v.updates }
 
-// Entries exposes the slots for query processing. Callers must not mutate.
-func (v *View) Entries() []oblivious.Entry { return v.entries }
+// Buffer exposes the view arena for query processing. Callers must not
+// mutate.
+func (v *View) Buffer() *oblivious.Buffer { return v.buf }
+
+// Entries materializes the slots in Entry form (test and diagnostic use;
+// the query path scans the arena directly).
+func (v *View) Entries() []oblivious.Entry { return v.buf.Entries() }
 
 // SizeBytes returns the storage footprint of the view given the per-slot
 // payload width, the "materialized view size (Mb)" metric of Table 2.

@@ -21,11 +21,14 @@ func batch(rng *rand.Rand, n, real int) []oblivious.Entry {
 	return es
 }
 
+// newCache builds an arity-2 cache like the test batches.
+func newCache(tupleBits int, m *mpc.Meter) *Cache { return New(2, tupleBits, m) }
+
 func TestCacheAppendAndCounters(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	c := New(128, nil)
-	c.Append(batch(rng, 10, 3))
-	c.Append(batch(rng, 10, 5))
+	c := newCache(128, nil)
+	c.AppendEntries(batch(rng, 10, 3))
+	c.AppendEntries(batch(rng, 10, 5))
 	if c.Len() != 20 {
 		t.Errorf("Len = %d", c.Len())
 	}
@@ -43,11 +46,12 @@ func TestCacheAppendAndCounters(t *testing.T) {
 
 func TestCacheReadFetchesRealFirst(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	c := New(128, nil)
-	c.Append(batch(rng, 30, 12))
+	c := newCache(128, nil)
+	c.AppendEntries(batch(rng, 30, 12))
 	got := c.Read(12)
-	if len(got) != 12 || oblivious.CountReal(got) != 12 {
-		t.Errorf("read %d slots, %d real; want 12 real", len(got), oblivious.CountReal(got))
+	defer got.Release()
+	if got.Len() != 12 || got.Real() != 12 {
+		t.Errorf("read %d slots, %d real; want 12 real", got.Len(), got.Real())
 	}
 	if c.Real() != 0 {
 		t.Errorf("cache still holds %d real after exact read", c.Real())
@@ -59,25 +63,28 @@ func TestCacheReadFetchesRealFirst(t *testing.T) {
 
 func TestCacheReadOverAndUnderSized(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	c := New(128, nil)
-	c.Append(batch(rng, 10, 4))
+	c := newCache(128, nil)
+	c.AppendEntries(batch(rng, 10, 4))
 	// Positive noise: fetch more than real count -> dummies included.
 	got := c.Read(7)
-	if len(got) != 7 || oblivious.CountReal(got) != 4 {
-		t.Errorf("oversized read: %d slots %d real", len(got), oblivious.CountReal(got))
+	if got.Len() != 7 || got.Real() != 4 {
+		t.Errorf("oversized read: %d slots %d real", got.Len(), got.Real())
 	}
+	got.Release()
 	// Negative noise: fetch fewer than real -> deferred data remains.
-	c2 := New(128, nil)
-	c2.Append(batch(rng, 10, 4))
+	c2 := newCache(128, nil)
+	c2.AppendEntries(batch(rng, 10, 4))
 	got = c2.Read(2)
-	if oblivious.CountReal(got) != 2 || c2.Real() != 2 {
-		t.Errorf("undersized read: fetched %d real, cache keeps %d", oblivious.CountReal(got), c2.Real())
+	if got.Real() != 2 || c2.Real() != 2 {
+		t.Errorf("undersized read: fetched %d real, cache keeps %d", got.Real(), c2.Real())
 	}
+	got.Release()
 	// Read larger than cache clamps.
 	got = c2.Read(100)
-	if len(got) != 8 {
-		t.Errorf("clamped read returned %d slots, want remaining 8", len(got))
+	if got.Len() != 8 {
+		t.Errorf("clamped read returned %d slots, want remaining 8", got.Len())
 	}
+	got.Release()
 	if c2.Len() != 0 {
 		t.Error("cache should be empty after clamped full read")
 	}
@@ -86,25 +93,26 @@ func TestCacheReadOverAndUnderSized(t *testing.T) {
 func TestCacheReadChargesSort(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	m := mpc.NewMeter(mpc.DefaultCostModel())
-	c := New(256, m)
-	c.Append(batch(rng, 16, 5))
-	c.Read(5)
+	c := newCache(256, m)
+	c.AppendEntries(batch(rng, 16, 5))
+	c.Read(5).Release()
 	want := float64(mpc.SortCompareExchanges(16)) * 256 * m.Model().ANDGatesPerCompareExchangeBit
 	if got := m.Gates(mpc.OpShrink); got != want {
 		t.Errorf("read charged %v gates, want %v", got, want)
 	}
 }
 
-func TestCacheFlush(t *testing.T) {
+func TestCacheFlushInto(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	c := New(128, nil)
-	c.Append(batch(rng, 50, 6))
-	fetched, lost := c.Flush(10)
-	if len(fetched) != 10 {
-		t.Errorf("flush fetched %d, want 10", len(fetched))
+	c := newCache(128, nil)
+	v := NewView(2)
+	c.AppendEntries(batch(rng, 50, 6))
+	fetched, lost := c.FlushInto(v, 10)
+	if fetched != 10 || v.Len() != 10 {
+		t.Errorf("flush fetched %d (view len %d), want 10", fetched, v.Len())
 	}
-	if oblivious.CountReal(fetched) != 6 {
-		t.Errorf("flush fetched %d real, want all 6", oblivious.CountReal(fetched))
+	if v.Real() != 6 {
+		t.Errorf("flush fetched %d real, want all 6", v.Real())
 	}
 	if lost != 0 {
 		t.Errorf("flush lost %d real tuples, want 0", lost)
@@ -116,13 +124,16 @@ func TestCacheFlush(t *testing.T) {
 	if f != 1 {
 		t.Errorf("flush counter = %d", f)
 	}
+	if v.Updates() != 1 {
+		t.Errorf("view updates = %d, want 1", v.Updates())
+	}
 }
 
 func TestCacheFlushReportsLostReal(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	c := New(128, nil)
-	c.Append(batch(rng, 20, 9))
-	_, lost := c.Flush(5) // undersized flush: 4 real recycled
+	c := newCache(128, nil)
+	c.AppendEntries(batch(rng, 20, 9))
+	_, lost := c.FlushInto(NewView(2), 5) // undersized flush: 4 real recycled
 	if lost != 4 {
 		t.Errorf("lost = %d, want 4", lost)
 	}
@@ -130,8 +141,8 @@ func TestCacheFlushReportsLostReal(t *testing.T) {
 
 func TestCacheSnapshotIsCopy(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	c := New(128, nil)
-	c.Append(batch(rng, 5, 2))
+	c := newCache(128, nil)
+	c.AppendEntries(batch(rng, 5, 2))
 	snap := c.Snapshot()
 	snap[0].IsView = !snap[0].IsView
 	if c.Snapshot()[0].IsView == snap[0].IsView {
@@ -144,21 +155,26 @@ func TestCacheSnapshotIsCopy(t *testing.T) {
 
 func TestViewAppendOnly(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
-	v := NewView()
-	v.Update(batch(rng, 10, 4))
-	v.Update(batch(rng, 5, 5))
+	v := NewView(2)
+	v.UpdateEntries(batch(rng, 10, 4))
+	b := oblivious.BufferOf(batch(rng, 5, 5))
+	v.Update(b)
+	b.Release()
 	if v.Len() != 15 || v.Real() != 9 || v.Updates() != 2 {
 		t.Errorf("view len=%d real=%d updates=%d", v.Len(), v.Real(), v.Updates())
 	}
 	if len(v.Entries()) != 15 {
 		t.Error("Entries length wrong")
 	}
+	if v.Buffer().Len() != 15 {
+		t.Error("Buffer length wrong")
+	}
 }
 
 func TestViewSizeBytes(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	v := NewView()
-	v.Update(batch(rng, 8, 2))
+	v := NewView(2)
+	v.UpdateEntries(batch(rng, 8, 2))
 	if got := v.SizeBytes(256); got != 8*256/8 {
 		t.Errorf("SizeBytes = %d", got)
 	}
@@ -168,24 +184,115 @@ func TestViewSizeBytes(t *testing.T) {
 // real tuples (no tuple is lost or duplicated by the oblivious machinery).
 func TestReadPreservesMultiset(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
-	c := New(128, nil)
+	c := newCache(128, nil)
 	b := batch(rng, 40, 17)
 	orig := oblivious.RealRows(b)
-	c.Append(b)
+	c.AppendEntries(b)
 	got := c.Read(9)
-	combined := append(oblivious.RealRows(got), oblivious.RealRows(c.Snapshot())...)
+	defer got.Release()
+	combined := append(oblivious.RealRows(got.Entries()), oblivious.RealRows(c.Snapshot())...)
 	if !table.MultisetEqual(combined, orig) {
 		t.Error("read split changed the multiset of real tuples")
 	}
 }
 
+// TestCountersPinnedToScan drives a random operation mix over a cache and a
+// view and pins the incrementally maintained real-tuple counters against a
+// full recount after every operation — the satellite invariant behind the
+// O(1) Real() on the serving read path.
+func TestCountersPinnedToScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := newCache(128, nil)
+	v := NewView(2)
+	check := func(op string) {
+		t.Helper()
+		if c.Real() != c.ScanReal() {
+			t.Fatalf("after %s: cache counter %d != scan %d", op, c.Real(), c.ScanReal())
+		}
+		if v.Real() != v.ScanReal() {
+			t.Fatalf("after %s: view counter %d != scan %d", op, v.Real(), v.ScanReal())
+		}
+	}
+	for i := 0; i < 300; i++ {
+		switch rng.Intn(6) {
+		case 0, 1:
+			n := 1 + rng.Intn(20)
+			c.AppendEntries(batch(rng, n, rng.Intn(n+1)))
+			check("append")
+		case 2:
+			c.ReadInto(v, rng.Intn(c.Len()+3)-1)
+			check("readInto")
+		case 3:
+			_, _ = c.FlushInto(v, rng.Intn(c.Len()+3)-1)
+			check("flushInto")
+		case 4:
+			c.ReadAndPruneInto(v, rng.Intn(c.Len()+2), rng.Intn(4), rng.Intn(15))
+			check("readAndPruneInto")
+		case 5:
+			c.Prune(rng.Intn(c.Len() + 2))
+			check("prune")
+		}
+	}
+}
+
+// TestCacheSteadyStateAllocs pins the pooled data plane: appending a warm
+// batch and reading it back must not allocate per slot (small constant
+// per-op allocations only, from pool churn at worst).
+func TestCacheSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	c := newCache(128, nil)
+	v := NewView(2)
+	src := oblivious.BufferOf(batch(rng, 256, 40))
+	defer src.Release()
+	// Warm up: grow the cache and view arenas to their steady-state sizes.
+	for i := 0; i < 4; i++ {
+		c.Append(src)
+		c.ReadAndPruneInto(v, 40, 4, 128)
+	}
+	grown := v.Len() // pre-grow the view past what the measured runs add
+	v.Buffer().Grow(grown * 64)
+	avg := testing.AllocsPerRun(50, func() {
+		c.Append(src)
+		c.ReadAndPruneInto(v, 40, 4, 128)
+	})
+	if avg > 4 {
+		t.Errorf("steady-state Append+ReadAndPruneInto allocates %.1f/op, want <= 4", avg)
+	}
+}
+
+func BenchmarkCacheAppend256(b *testing.B) {
+	rng := rand.New(rand.NewSource(98))
+	c := newCache(256, nil)
+	src := oblivious.BufferOf(batch(rng, 256, 40))
+	defer src.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Append(src)
+		if c.Len() >= 1<<16 {
+			b.StopTimer()
+			c.Prune(0)
+			b.StartTimer()
+		}
+	}
+}
+
 func BenchmarkCacheRead256(b *testing.B) {
 	rng := rand.New(rand.NewSource(99))
+	c := newCache(256, nil)
+	v := NewView(2)
+	src := oblivious.BufferOf(batch(rng, 256, 40))
+	defer src.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		c := New(256, nil)
-		c.Append(batch(rng, 256, 40))
+		c.Prune(0)
+		c.Append(src)
+		if v.Len() > 1<<20 {
+			v = NewView(2)
+		}
 		b.StartTimer()
-		c.Read(40)
+		c.ReadInto(v, 40)
 	}
 }

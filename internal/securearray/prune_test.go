@@ -4,22 +4,22 @@ import (
 	"math/rand"
 	"testing"
 
-	"incshrink/internal/oblivious"
 	"incshrink/internal/table"
 )
 
 func TestReadAndPruneSegments(t *testing.T) {
 	// 30 slots, 12 real. Fetch 5, spill 4, keep 10 => 11 recycled.
 	rng := rand.New(rand.NewSource(1))
-	c := New(128, nil)
-	c.Append(batch(rng, 30, 12))
-	fetched, lost := c.ReadAndPrune(5, 4, 10)
-	if len(fetched) != 9 {
-		t.Fatalf("fetched %d slots, want 5+4", len(fetched))
+	c := newCache(128, nil)
+	v := NewView(2)
+	c.AppendEntries(batch(rng, 30, 12))
+	lost := c.ReadAndPruneInto(v, 5, 4, 10)
+	if v.Len() != 9 {
+		t.Fatalf("fetched %d slots, want 5+4", v.Len())
 	}
 	// Sorted real-first: the 9 fetched slots are all real.
-	if oblivious.CountReal(fetched) != 9 {
-		t.Errorf("fetched %d real, want 9", oblivious.CountReal(fetched))
+	if v.Real() != 9 {
+		t.Errorf("fetched %d real, want 9", v.Real())
 	}
 	if c.Len() != 10 {
 		t.Errorf("cache len %d, want keep=10", c.Len())
@@ -37,9 +37,9 @@ func TestReadAndPruneLosesTailReal(t *testing.T) {
 	// 20 slots, 15 real. Fetch 2, spill 3, keep 5 => 10 recycled, of which
 	// 15-2-3-5 = 5 are real.
 	rng := rand.New(rand.NewSource(2))
-	c := New(128, nil)
-	c.Append(batch(rng, 20, 15))
-	_, lost := c.ReadAndPrune(2, 3, 5)
+	c := newCache(128, nil)
+	c.AppendEntries(batch(rng, 20, 15))
+	lost := c.ReadAndPruneInto(NewView(2), 2, 3, 5)
 	if lost != 5 {
 		t.Errorf("lost = %d, want 5", lost)
 	}
@@ -50,22 +50,27 @@ func TestReadAndPruneLosesTailReal(t *testing.T) {
 
 func TestReadAndPruneClamps(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	c := New(128, nil)
-	c.Append(batch(rng, 10, 4))
+	c := newCache(128, nil)
+	v := NewView(2)
+	c.AppendEntries(batch(rng, 10, 4))
 	// Oversized spill clamps to remaining; negative values clamp to 0.
-	fetched, lost := c.ReadAndPrune(3, 100, -5)
-	if len(fetched) != 10 {
-		t.Errorf("fetched %d, want everything", len(fetched))
+	lost := c.ReadAndPruneInto(v, 3, 100, -5)
+	if v.Len() != 10 {
+		t.Errorf("fetched %d, want everything", v.Len())
 	}
 	if lost != 0 || c.Len() != 0 {
 		t.Errorf("lost=%d cacheLen=%d after full spill", lost, c.Len())
 	}
 	// Keep larger than remainder keeps all without a flush.
-	c2 := New(128, nil)
-	c2.Append(batch(rng, 10, 4))
-	_, lost = c2.ReadAndPrune(2, 1, 100)
+	c2 := newCache(128, nil)
+	c2.AppendEntries(batch(rng, 10, 4))
+	lost = c2.ReadAndPruneInto(NewView(2), 2, 1, 100)
 	if lost != 0 || c2.Len() != 7 {
 		t.Errorf("lost=%d cacheLen=%d, want 0 and 7", lost, c2.Len())
+	}
+	_, _, flushes := c2.Stats()
+	if flushes != 0 {
+		t.Errorf("oversized keep still counted %d flushes", flushes)
 	}
 }
 
@@ -74,28 +79,30 @@ func TestReadAndPruneConservesReal(t *testing.T) {
 	for trial := 0; trial < 30; trial++ {
 		n := 10 + rng.Intn(40)
 		real := rng.Intn(n + 1)
-		c := New(128, nil)
+		c := newCache(128, nil)
+		v := NewView(2)
 		b := batch(rng, n, real)
-		orig := oblivious.RealRows(b)
-		c.Append(b)
-		fetched, lost := c.ReadAndPrune(rng.Intn(n+2), rng.Intn(10), rng.Intn(20))
-		got := oblivious.CountReal(fetched) + c.Real() + lost
-		if got != len(orig) {
-			t.Fatalf("trial %d: fetched+kept+lost = %d, want %d", trial, got, len(orig))
+		c.AppendEntries(b)
+		lost := c.ReadAndPruneInto(v, rng.Intn(n+2), rng.Intn(10), rng.Intn(20))
+		got := v.Real() + c.Real() + lost
+		if got != real {
+			t.Fatalf("trial %d: fetched+kept+lost = %d, want %d", trial, got, real)
 		}
 	}
 }
 
-func TestDrain(t *testing.T) {
+func TestDrainInto(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	c := New(128, nil)
+	c := newCache(128, nil)
+	v := NewView(2)
 	b := batch(rng, 12, 5)
-	c.Append(b)
-	out := c.Drain()
-	if len(out) != 12 || c.Len() != 0 {
-		t.Errorf("drain returned %d, cache %d", len(out), c.Len())
+	c.AppendEntries(b)
+	c.DrainInto(v)
+	if v.Len() != 12 || c.Len() != 0 {
+		t.Errorf("drain moved %d, cache %d", v.Len(), c.Len())
 	}
 	// Drain preserves order (no sort).
+	out := v.Entries()
 	for i := range out {
 		if !table.Row(out[i].Row).Equal(b[i].Row) {
 			t.Fatalf("drain reordered slot %d", i)
@@ -105,8 +112,8 @@ func TestDrain(t *testing.T) {
 
 func TestPrune(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	c := New(128, nil)
-	c.Append(batch(rng, 20, 6))
+	c := newCache(128, nil)
+	c.AppendEntries(batch(rng, 20, 6))
 	lost := c.Prune(10)
 	if lost != 0 {
 		t.Errorf("prune above real count lost %d", lost)
@@ -123,7 +130,7 @@ func TestPrune(t *testing.T) {
 	if c.Prune(100) != 0 {
 		t.Error("oversized keep lost tuples")
 	}
-	c2 := New(128, nil)
+	c2 := newCache(128, nil)
 	if c2.Prune(-1) != 0 {
 		t.Error("negative keep on empty cache should lose nothing")
 	}

@@ -45,7 +45,8 @@ type CreateRequest struct {
 }
 
 // AdvanceRequest carries one time step of uploads; each row is
-// {join key, event time, extra attributes...}.
+// {join key, event time, extra attributes...} (attributes beyond the first
+// two are ignored by the engine).
 type AdvanceRequest struct {
 	Left  []incshrink.Row `json:"left"`
 	Right []incshrink.Row `json:"right"`

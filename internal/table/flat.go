@@ -1,0 +1,169 @@
+package table
+
+import "fmt"
+
+// Flat is a row-major arena of fixed-arity rows: one contiguous []int64
+// holding n*arity attributes. It is the columnar data plane's payload
+// layout — a single allocation instead of one heap-allocated Row per tuple —
+// shared by the secure layer (internal/oblivious.Buffer embeds a Flat as its
+// payload arena) and usable directly for plaintext batch processing.
+//
+// The zero value is an empty arena of arity 0; use NewFlat to fix the arity.
+// Row views returned by Row remain valid until the next growing append
+// (AppendRow and friends may reallocate the arena, like append on a slice).
+type Flat struct {
+	arity int
+	n     int
+	data  []int64
+}
+
+// NewFlat creates an empty arena for rows of the given arity, with capacity
+// for rowCap rows pre-reserved.
+func NewFlat(arity, rowCap int) *Flat {
+	if arity < 0 {
+		panic(fmt.Sprintf("table: negative arity %d", arity))
+	}
+	return &Flat{arity: arity, data: make([]int64, 0, arity*rowCap)}
+}
+
+// Arity returns the fixed number of attributes per row.
+func (f *Flat) Arity() int { return f.arity }
+
+// Rows returns the number of rows currently stored.
+func (f *Flat) Rows() int { return f.n }
+
+// Row returns row i as a capped slice of the arena (no copy). The view is
+// read-write but must not be appended to, and is invalidated by growing
+// appends.
+func (f *Flat) Row(i int) Row {
+	lo := i * f.arity
+	return f.data[lo : lo+f.arity : lo+f.arity]
+}
+
+// At returns attribute j of row i.
+func (f *Flat) At(i, j int) int64 { return f.data[i*f.arity+j] }
+
+// Set writes attribute j of row i.
+func (f *Flat) Set(i, j int, v int64) { f.data[i*f.arity+j] = v }
+
+// AppendRow appends a copy of r, which must have exactly the arena's arity.
+func (f *Flat) AppendRow(r Row) {
+	if len(r) != f.arity {
+		panic(fmt.Sprintf("table: appending arity-%d row to arity-%d arena", len(r), f.arity))
+	}
+	f.data = append(f.data, r...)
+	f.n++
+}
+
+// AppendConcat appends the concatenation a||b as one row; len(a)+len(b) must
+// equal the arena's arity. This is the join-output append: no temporary
+// concatenated Row is ever materialized.
+func (f *Flat) AppendConcat(a, b Row) {
+	if len(a)+len(b) != f.arity {
+		panic(fmt.Sprintf("table: concat arity %d+%d != arena arity %d", len(a), len(b), f.arity))
+	}
+	f.data = append(f.data, a...)
+	f.data = append(f.data, b...)
+	f.n++
+}
+
+// AppendZeroRow appends an all-zero row (a dummy payload).
+func (f *Flat) AppendZeroRow() {
+	if cap(f.data)-len(f.data) >= f.arity {
+		f.data = f.data[:len(f.data)+f.arity]
+		clear(f.data[len(f.data)-f.arity:])
+	} else {
+		f.data = append(f.data, make([]int64, f.arity)...)
+	}
+	f.n++
+}
+
+// AppendFrom appends a copy of row i of src, which must have equal arity.
+func (f *Flat) AppendFrom(src *Flat, i int) {
+	if src.arity != f.arity {
+		panic(fmt.Sprintf("table: appending from arity-%d arena to arity-%d arena", src.arity, f.arity))
+	}
+	lo := i * src.arity
+	f.data = append(f.data, src.data[lo:lo+src.arity]...)
+	f.n++
+}
+
+// AppendRows appends copies of src's rows [lo, hi) with one bulk copy; src
+// must have equal arity.
+func (f *Flat) AppendRows(src *Flat, lo, hi int) {
+	if src.arity != f.arity {
+		panic(fmt.Sprintf("table: appending from arity-%d arena to arity-%d arena", src.arity, f.arity))
+	}
+	f.data = append(f.data, src.data[lo*src.arity:hi*src.arity]...)
+	f.n += hi - lo
+}
+
+// Grow reserves capacity for at least extra more rows without changing the
+// content, so subsequent appends do not reallocate (and previously returned
+// Row views stay valid across them).
+func (f *Flat) Grow(extra int) {
+	need := len(f.data) + extra*f.arity
+	if cap(f.data) < need {
+		grown := make([]int64, len(f.data), need)
+		copy(grown, f.data)
+		f.data = grown
+	}
+}
+
+// Truncate drops every row from index rows on.
+func (f *Flat) Truncate(rows int) {
+	f.data = f.data[:rows*f.arity]
+	f.n = rows
+}
+
+// CutPrefix removes the first rows rows, sliding the remainder to the front
+// of the arena in place (no allocation).
+func (f *Flat) CutPrefix(rows int) {
+	if rows <= 0 {
+		return
+	}
+	copy(f.data, f.data[rows*f.arity:])
+	f.Truncate(f.n - rows)
+}
+
+// Reset empties the arena, keeping its storage for reuse.
+func (f *Flat) Reset() {
+	f.data = f.data[:0]
+	f.n = 0
+}
+
+// Column is a schema-resolved accessor for one column of a Flat arena: a
+// strided view that reads attribute j of every row without materializing
+// per-row slices.
+type Column struct {
+	f *Flat
+	j int
+}
+
+// ColumnOf resolves a named column of s against a Flat arena whose rows
+// follow the schema layout.
+func (s *Schema) ColumnOf(f *Flat, name string) (Column, error) {
+	j, err := s.Col(name)
+	if err != nil {
+		return Column{}, err
+	}
+	if f.Arity() != s.Arity() {
+		return Column{}, fmt.Errorf("table: arena arity %d does not match schema %q arity %d", f.Arity(), s.Name, s.Arity())
+	}
+	return Column{f: f, j: j}, nil
+}
+
+// MustColumnOf is ColumnOf that panics, for fixtures with static schemas.
+func (s *Schema) MustColumnOf(f *Flat, name string) Column {
+	c, err := s.ColumnOf(f, name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Len returns the number of rows the column spans.
+func (c Column) Len() int { return c.f.Rows() }
+
+// At returns the column's value in row i.
+func (c Column) At(i int) int64 { return c.f.At(i, c.j) }
