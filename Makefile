@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-core bench-smoke serve
+.PHONY: check fmt vet build test race bench bench-core bench-smoke recover-smoke fuzz-smoke serve
 
 # check is what CI runs: formatting, static checks, build, tests.
 check: fmt vet build test
@@ -40,7 +40,24 @@ bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x ./internal/oblivious ./internal/securearray
 	$(GO) test -run XXX -bench 'BenchmarkAdvance|BenchmarkCount' -benchtime 1x .
 
+# recover-smoke proves crash recovery end to end (CI runs this): snapshot a
+# deployment mid-run, restore it, and verify counts/stats stay identical to
+# an uninterrupted run — through the public API and through the serving
+# layer's checkpoint/restore-on-boot path. The exhaustive byte-identical
+# matrix (goldens at k in {1,37,60,119}) runs with the normal test suite as
+# internal/experiments TestCrashRecoveryReproducesGoldens.
+recover-smoke:
+	$(GO) test -count=1 -run 'TestRecoverSmoke' .
+	$(GO) test -count=1 -run 'TestRegistryCheckpointRestore|TestPeriodicCheckpointing' ./internal/serve
+
+# fuzz-smoke gives each snapshot-codec fuzz target a short budget beyond
+# the checked-in seed corpus (the corpus itself already runs in `test`).
+fuzz-smoke:
+	$(GO) test -run XXX -fuzz FuzzDecodeBuffer -fuzztime 10s ./internal/snapshot
+	$(GO) test -run XXX -fuzz FuzzBufferRoundTrip -fuzztime 10s ./internal/snapshot
+	$(GO) test -run XXX -fuzz FuzzDecodeRuntime -fuzztime 10s ./internal/snapshot
+
 # serve runs the multi-tenant HTTP front end (see examples/server for a
-# curl-able session).
+# curl-able session). Add DATA=./incshrink-data for a durable server.
 serve:
-	$(GO) run ./cmd/incshrink-server -addr :8080
+	$(GO) run ./cmd/incshrink-server -addr :8080 $(if $(DATA),-data $(DATA))

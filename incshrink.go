@@ -24,7 +24,9 @@
 package incshrink
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"incshrink/internal/core"
 	"incshrink/internal/oblivious"
@@ -32,6 +34,17 @@ import (
 	"incshrink/internal/table"
 	"incshrink/internal/workload"
 )
+
+// ErrInvalidArgument marks errors caused by invalid caller input — a
+// malformed ViewDef or Options, an oversized or malformed upload, a bad
+// query. Callers (notably the HTTP layer) use errors.Is to distinguish
+// client mistakes (400) from internal failures (500).
+var ErrInvalidArgument = errors.New("incshrink: invalid argument")
+
+// badArg wraps a formatted message with ErrInvalidArgument.
+func badArg(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidArgument, fmt.Sprintf(format, args...))
+}
 
 // Row is one relational tuple: {join key, event time, extra attributes...}.
 // Only the first two attributes participate in the view definition; any
@@ -131,6 +144,43 @@ func (v ViewDef) withDefaults() ViewDef {
 	return v
 }
 
+// validate rejects definitions withDefaults cannot repair. withDefaults only
+// patches zero values, so negatives — which reach Open directly from a
+// hostile HTTP create body — must be refused, not passed to the engine.
+func (v ViewDef) validate() error {
+	switch {
+	case v.Within < 0:
+		return badArg("Within must be non-negative, got %d", v.Within)
+	case v.Omega < 0:
+		return badArg("Omega must be non-negative (0 means default), got %d", v.Omega)
+	case v.Budget < 0:
+		return badArg("Budget must be non-negative (0 means default), got %d", v.Budget)
+	}
+	return nil
+}
+
+// validate rejects options withDefaults cannot repair (zero means "use the
+// default"; negatives and non-finite values are errors).
+func (o Options) validate() error {
+	switch {
+	case o.Epsilon < 0 || math.IsNaN(o.Epsilon) || math.IsInf(o.Epsilon, 0):
+		return badArg("Epsilon must be positive and finite (0 means default), got %v", o.Epsilon)
+	case o.Protocol != SDPTimer && o.Protocol != SDPANT:
+		return badArg("unknown protocol %d", int(o.Protocol))
+	case o.T < 0:
+		return badArg("T must be non-negative (0 means default), got %d", o.T)
+	case o.Theta < 0 || math.IsNaN(o.Theta) || math.IsInf(o.Theta, 0):
+		return badArg("Theta must be non-negative and finite (0 means default), got %v", o.Theta)
+	case o.UploadEvery < 0:
+		return badArg("UploadEvery must be non-negative (0 means default), got %d", o.UploadEvery)
+	case o.MaxLeft < 0:
+		return badArg("MaxLeft must be non-negative (0 means default), got %d", o.MaxLeft)
+	case o.MaxRight < 0:
+		return badArg("MaxRight must be non-negative (0 means default), got %d", o.MaxRight)
+	}
+	return nil
+}
+
 // DB is a secure outsourced growing database with one materialized view.
 //
 // A DB is not safe for concurrent use: every method — including the
@@ -147,13 +197,18 @@ type DB struct {
 	nextID int64
 }
 
-// Open creates a database for the given view definition.
+// Open creates a database for the given view definition. Definitions and
+// options that are malformed — negative bounds, unknown protocols — are
+// rejected with an error wrapping ErrInvalidArgument.
 func Open(def ViewDef, opts Options) (*DB, error) {
+	if err := def.validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	def = def.withDefaults()
 	opts = opts.withDefaults()
-	if def.Within < 0 {
-		return nil, fmt.Errorf("incshrink: Within must be non-negative, got %d", def.Within)
-	}
 	wl := workload.Config{
 		Name:            "api",
 		Steps:           1 << 30, // open-ended horizon
@@ -175,7 +230,9 @@ func Open(def ViewDef, opts Options) (*DB, error) {
 	cfg.PruneTo = core.PruneBound(cfg, wl)
 	cfg.SpillPerUpdate = core.SpillBound(cfg, wl)
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		// Everything in cfg derives from the caller's def/opts, so an engine
+		// rejection is a caller mistake (e.g. Budget below Omega).
+		return nil, fmt.Errorf("%w: %v", ErrInvalidArgument, err)
 	}
 	var fw *core.Framework
 	var err error
@@ -195,35 +252,51 @@ func (db *DB) Now() int { return db.now }
 
 // Advance moves the database one time step forward, ingesting the records
 // each owner received this step. Uploads on the owners' schedule must fit
-// the configured block sizes.
+// the configured block sizes. A rejected Advance (wrapping
+// ErrInvalidArgument) mutates nothing: the step does not happen, no record
+// IDs are consumed, and a corrected retry continues exactly where a
+// never-failed run would be — the byte-identical-replay contract the
+// serving layer and snapshot/restore depend on.
 func (db *DB) Advance(left, right []Row) error {
+	// Validate both streams completely before mutating any state. IDs are
+	// only allocated once nothing can fail; consuming nextID for valid left
+	// rows and then rejecting a malformed right row would permanently burn
+	// IDs and fork the replay.
 	if len(left) > db.opts.MaxLeft {
-		return fmt.Errorf("incshrink: left upload %d exceeds block size %d", len(left), db.opts.MaxLeft)
+		return badArg("left upload %d exceeds block size %d", len(left), db.opts.MaxLeft)
 	}
 	if !db.def.RightPublic && len(right) > db.opts.MaxRight {
-		return fmt.Errorf("incshrink: right upload %d exceeds block size %d", len(right), db.opts.MaxRight)
+		return badArg("right upload %d exceeds block size %d", len(right), db.opts.MaxRight)
+	}
+	if err := validateRows("left", left); err != nil {
+		return err
+	}
+	if err := validateRows("right", right); err != nil {
+		return err
 	}
 	st := workload.Step{T: db.now}
-	var err error
-	st.Left, err = db.records(left)
-	if err != nil {
-		return err
-	}
-	st.Right, err = db.records(right)
-	if err != nil {
-		return err
-	}
+	st.Left = db.records(left)
+	st.Right = db.records(right)
 	db.fw.Step(st)
 	db.now++
 	return nil
 }
 
-func (db *DB) records(rows []Row) ([]oblivious.Record, error) {
+// validateRows checks every row of one stream before any ID is allocated.
+func validateRows(stream string, rows []Row) error {
+	for i, r := range rows {
+		if len(r) < workload.StreamArity {
+			return badArg("%s row %d needs at least {key, time}, got %d attributes", stream, i, len(r))
+		}
+	}
+	return nil
+}
+
+// records assigns stable IDs to pre-validated rows; it must only run after
+// both streams of the step have passed validation.
+func (db *DB) records(rows []Row) []oblivious.Record {
 	out := make([]oblivious.Record, 0, len(rows))
 	for _, r := range rows {
-		if len(r) < workload.StreamArity {
-			return nil, fmt.Errorf("incshrink: row needs at least {key, time}, got %d attributes", len(r))
-		}
 		// The engine's fixed-arity data plane (and the view schema the
 		// queries resolve against) carries exactly {key, time} per stream;
 		// extra attributes do not participate in the view definition and are
@@ -231,7 +304,7 @@ func (db *DB) records(rows []Row) ([]oblivious.Record, error) {
 		out = append(out, oblivious.Record{ID: db.nextID, Row: table.Row(r[:workload.StreamArity])})
 		db.nextID++
 	}
-	return out, nil
+	return out
 }
 
 // Count answers the standing view count query from the materialized view,

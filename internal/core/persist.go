@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"incshrink/internal/oblivious"
+	"incshrink/internal/snapshot"
+	"incshrink/internal/table"
+	"incshrink/internal/workload"
+)
+
+// Framework durability. A snapshot captures every byte of mutable engine
+// state — the MPC runtime (share stores, transcripts, all RNG draw
+// positions, the cost meter), the secure cache and materialized view arenas,
+// the contribution-budget tables, the active input windows, the public
+// pending-arrival and overflow carries, and the bookkeeping counters — so a
+// framework restored from it continues bit-identically to one that never
+// stopped. The configuration (Config, workload, Shrink protocol) is *not*
+// state: Restore targets a framework freshly constructed with the same
+// parameters and refuses anything else via the header fingerprint.
+//
+// The built-in Shrink protocols keep their evolving state (cardinality
+// counter, noisy threshold) secret-shared in the runtime's stores, so
+// restoring the runtime restores them; a custom Shrinker with private
+// mutable state is not supported by the codec.
+
+// StateFingerprint canonically hashes the construction parameters a
+// snapshot is only valid for: the full Config (including the cost model and
+// seed), the workload, and the Shrink protocol.
+func (f *Framework) StateFingerprint() uint64 {
+	return snapshot.Fingerprint(
+		fmt.Sprintf("%+v", f.cfg),
+		fmt.Sprintf("%+v", f.wl),
+		f.shrink.Name(),
+	)
+}
+
+// Snapshot writes a standalone framework snapshot: header (format version +
+// construction fingerprint), full mutable state, CRC trailer.
+func (f *Framework) Snapshot(w io.Writer) error {
+	enc := snapshot.NewEncoder(w)
+	snapshot.WriteHeader(enc, f.StateFingerprint())
+	f.EncodeState(enc)
+	return enc.Finish()
+}
+
+// Restore reloads a snapshot written by Snapshot into f, which must have
+// been constructed with the same Config, workload and Shrink protocol
+// (enforced by the fingerprint). On success f is bit-identical to the
+// snapshotted framework; on any error f must be discarded (state may be
+// partially replaced).
+func (f *Framework) Restore(r io.Reader) error {
+	dec := snapshot.NewDecoder(r)
+	fp, err := snapshot.ReadHeader(dec)
+	if err != nil {
+		return err
+	}
+	if fp != f.StateFingerprint() {
+		return fmt.Errorf("%w: snapshot %016x, this engine %016x",
+			snapshot.ErrFingerprintMismatch, fp, f.StateFingerprint())
+	}
+	if err := f.DecodeState(dec); err != nil {
+		return err
+	}
+	return dec.Finish()
+}
+
+// EncodeState writes the framework's mutable state as one self-delimiting
+// section (no header or trailer), for embedding in a larger snapshot such
+// as incshrink.DB's.
+func (f *Framework) EncodeState(enc *snapshot.Encoder) {
+	snapshot.EncodeRuntime(enc, f.rt)
+	snapshot.EncodeCache(enc, f.cache)
+	snapshot.EncodeView(enc, f.view)
+
+	encodeBudget(enc, f.leftBudget)
+	encodeBudget(enc, f.rightBudget)
+	snapshot.EncodeInt64IntMap(enc, f.leftSince)
+	snapshot.EncodeInt64IntMap(enc, f.rightSince)
+
+	encodeRecords(enc, f.activeLeft)
+	encodeRecords(enc, f.activeRight)
+	encodeRecords(enc, f.pendingRight)
+	snapshot.EncodeBuffer(enc, f.overflow)
+
+	enc.I64(f.dummyID)
+	enc.Int(f.created)
+	enc.Int(f.lostReal)
+	enc.Int(f.transforms)
+	enc.Int(f.queries)
+	enc.F64(f.querySecs)
+	enc.Int(f.now)
+}
+
+// DecodeState reloads state written by EncodeState. The caller is
+// responsible for fingerprint/framing checks.
+func (f *Framework) DecodeState(dec *snapshot.Decoder) error {
+	if err := snapshot.DecodeRuntimeInto(dec, f.rt); err != nil {
+		return err
+	}
+	if err := snapshot.DecodeCacheInto(dec, f.cache); err != nil {
+		return err
+	}
+	if err := snapshot.DecodeViewInto(dec, f.view); err != nil {
+		return err
+	}
+
+	if err := decodeBudgetInto(dec, f.leftBudget); err != nil {
+		return err
+	}
+	if err := decodeBudgetInto(dec, f.rightBudget); err != nil {
+		return err
+	}
+	f.leftSince = snapshot.DecodeInt64IntMap(dec)
+	f.rightSince = snapshot.DecodeInt64IntMap(dec)
+
+	f.activeLeft = decodeRecords(dec, f.activeLeft[:0])
+	f.activeRight = decodeRecords(dec, f.activeRight[:0])
+	f.pendingRight = decodeRecords(dec, nil)
+	if err := snapshot.DecodeBufferInto(dec, f.overflow); err != nil {
+		return err
+	}
+
+	f.dummyID = dec.I64()
+	f.created = dec.Int()
+	f.lostReal = dec.Int()
+	f.transforms = dec.Int()
+	f.queries = dec.Int()
+	f.querySecs = dec.F64()
+	f.now = dec.Int()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if f.dummyID > -2 || f.created < 0 || f.lostReal < 0 || f.transforms < 0 || f.queries < 0 {
+		dec.Corrupt("framework counters out of range (dummyID=%d created=%d lost=%d transforms=%d queries=%d)",
+			f.dummyID, f.created, f.lostReal, f.transforms, f.queries)
+		return dec.Err()
+	}
+	return nil
+}
+
+// encodeBudget writes a contribution-budget table: the construction-time
+// total (validated on decode) and the per-record remaining budgets.
+func encodeBudget(enc *snapshot.Encoder, bt *BudgetTracker) {
+	enc.Int(bt.total)
+	snapshot.EncodeInt64IntMap(enc, bt.remaining)
+}
+
+func decodeBudgetInto(dec *snapshot.Decoder, bt *BudgetTracker) error {
+	total := dec.Int()
+	remaining := snapshot.DecodeInt64IntMap(dec)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if total != bt.total {
+		dec.Corrupt("budget table total %d, restoring into total %d", total, bt.total)
+		return dec.Err()
+	}
+	for id, r := range remaining {
+		if r <= 0 || (bt.total > 0 && r > bt.total) {
+			dec.Corrupt("record %d holds remaining budget %d of total %d", id, r, bt.total)
+			return dec.Err()
+		}
+	}
+	bt.remaining = remaining
+	return nil
+}
+
+// encodeRecords writes an input-record slice: stable ID plus the row
+// attributes each record carries.
+func encodeRecords(enc *snapshot.Encoder, rs []oblivious.Record) {
+	enc.U32(uint32(len(rs)))
+	for _, r := range rs {
+		enc.I64(r.ID)
+		enc.I64s(r.Row)
+	}
+}
+
+// decodeRecords reads records into dst, materializing each row into its own
+// framework-owned copy (the snapshotted rows pointed into caller or trace
+// memory that no longer exists after a restart).
+func decodeRecords(dec *snapshot.Decoder, dst []oblivious.Record) []oblivious.Record {
+	n := dec.Len()
+	if dec.Err() != nil {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		id := dec.I64()
+		row := dec.I64s()
+		if dec.Err() != nil {
+			return nil
+		}
+		if len(row) != workload.StreamArity {
+			dec.Corrupt("input record with %d attributes, want %d", len(row), workload.StreamArity)
+			return nil
+		}
+		dst = append(dst, oblivious.Record{ID: id, Row: table.Row(row)})
+	}
+	return dst
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"incshrink/internal/snapshot"
+	"incshrink/internal/workload"
+)
+
+// buildEngine constructs a paper-default engine of the given protocol over
+// the TPC-ds-like workload.
+func buildEngine(t *testing.T, ant bool, steps int) (*Framework, *workload.Trace) {
+	t.Helper()
+	wl := workload.TPCDS(steps, 7)
+	cfg := DefaultConfig(wl, 7)
+	var (
+		f   *Framework
+		err error
+	)
+	if ant {
+		f, err = NewANTEngine(cfg, wl)
+	} else {
+		f, err = NewTimerEngine(cfg, wl)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := workload.Generate(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, tr
+}
+
+func rebuildLike(t *testing.T, f *Framework) *Framework {
+	t.Helper()
+	var (
+		fresh *Framework
+		err   error
+	)
+	if f.shrink.Name() == "ANT" {
+		fresh, err = NewANTEngine(f.cfg, f.wl)
+	} else {
+		fresh, err = NewTimerEngine(f.cfg, f.wl)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fresh
+}
+
+// TestFrameworkSnapshotRestoreContinues is the core of the durability
+// contract: an engine snapshotted at step k and restored into a fresh
+// framework must continue bit-identically — same query answers, same
+// metrics, same transcripts — to the engine that never stopped.
+func TestFrameworkSnapshotRestoreContinues(t *testing.T) {
+	const steps = 60
+	for _, ant := range []bool{false, true} {
+		for _, k := range []int{1, 17, 30, 59} {
+			t.Run(fmt.Sprintf("ant=%t/k=%d", ant, k), func(t *testing.T) {
+				ref, tr := buildEngine(t, ant, steps)
+				split, _ := buildEngine(t, ant, steps)
+
+				for _, st := range tr.Steps[:k] {
+					ref.Step(st)
+					split.Step(st)
+					ref.Query()
+					split.Query()
+				}
+				var buf bytes.Buffer
+				if err := split.Snapshot(&buf); err != nil {
+					t.Fatalf("snapshot at step %d: %v", k, err)
+				}
+				restored := rebuildLike(t, split)
+				if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+					t.Fatalf("restore at step %d: %v", k, err)
+				}
+
+				for _, st := range tr.Steps[k:] {
+					ref.Step(st)
+					restored.Step(st)
+					nRef, qetRef := ref.Query()
+					nRes, qetRes := restored.Query()
+					if nRef != nRes || qetRef != qetRes {
+						t.Fatalf("step %d: restored answered (%d, %v), uninterrupted (%d, %v)",
+							st.T, nRes, qetRes, nRef, qetRef)
+					}
+				}
+				if !reflect.DeepEqual(ref.Metrics(), restored.Metrics()) {
+					t.Errorf("metrics diverged:\nrestored: %+v\nuninterrupted: %+v", restored.Metrics(), ref.Metrics())
+				}
+				if !reflect.DeepEqual(ref.Runtime().S0.Transcript, restored.Runtime().S0.Transcript) ||
+					!reflect.DeepEqual(ref.Runtime().S1.Transcript, restored.Runtime().S1.Transcript) {
+					t.Error("server transcripts diverged after restore")
+				}
+			})
+		}
+	}
+}
+
+// TestFrameworkSnapshotDeterministicBytes pins that snapshotting is a pure
+// read: two snapshots of the same state are byte-identical (maps serialize
+// sorted), and snapshot → restore → snapshot reproduces the bytes.
+func TestFrameworkSnapshotDeterministicBytes(t *testing.T) {
+	f, tr := buildEngine(t, true, 40)
+	for _, st := range tr.Steps {
+		f.Step(st)
+		f.Query()
+	}
+	var a, b bytes.Buffer
+	if err := f.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Snapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two snapshots of the same state differ")
+	}
+	restored := rebuildLike(t, f)
+	if err := restored.Restore(bytes.NewReader(a.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := restored.Snapshot(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("snapshot -> restore -> snapshot changed the bytes")
+	}
+}
+
+// TestFrameworkRestoreRejectsMismatchedConfig pins the fingerprint check:
+// a snapshot must not restore into an engine built with different
+// parameters or a different Shrink protocol.
+func TestFrameworkRestoreRejectsMismatchedConfig(t *testing.T) {
+	f, tr := buildEngine(t, false, 20)
+	for _, st := range tr.Steps {
+		f.Step(st)
+	}
+	var buf bytes.Buffer
+	if err := f.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	other, err := NewANTEngine(f.cfg, f.wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("Timer snapshot restored into an ANT engine")
+	} else if !errors.Is(err, snapshot.ErrFingerprintMismatch) {
+		t.Fatalf("want fingerprint mismatch, got %v", err)
+	}
+
+	cfg := f.cfg
+	cfg.Epsilon = 0.5
+	diff, err := NewTimerEngine(cfg, f.wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := diff.Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, snapshot.ErrFingerprintMismatch) {
+		t.Fatalf("want fingerprint mismatch for different epsilon, got %v", err)
+	}
+}

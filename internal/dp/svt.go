@@ -71,6 +71,30 @@ func (m *NANT) Step(count int) (release int, fired bool) {
 	return n, true
 }
 
+// NANTState is the serializable mutable state of a NANT mechanism. The RNG
+// position is not part of it: the RNG belongs to the caller, which tracks
+// its draw position separately (dp.CountingRNG).
+type NANTState struct {
+	NoisyThreshold float64
+	Fires          int
+	Steps          int
+}
+
+// State snapshots the mechanism.
+func (m *NANT) State() NANTState {
+	return NANTState{NoisyThreshold: m.noisyThreshold, Fires: m.fires, Steps: m.steps}
+}
+
+// SetState restores a snapshot taken with State on a mechanism constructed
+// with the same parameters; the construction-time threshold draw is
+// overwritten, so the caller must also rewind the shared RNG to its
+// checkpointed position for the streams to line up.
+func (m *NANT) SetState(st NANTState) {
+	m.noisyThreshold = st.NoisyThreshold
+	m.fires = st.Fires
+	m.steps = st.Steps
+}
+
 // Fires reports how many times the threshold has fired.
 func (m *NANT) Fires() int { return m.fires }
 
@@ -156,3 +180,7 @@ func UserLevelEpsilon(eventEps float64, ell int) float64 {
 	}
 	return eventEps * float64(ell)
 }
+
+// RNG exposes the mechanism's randomness source so owners of the mechanism
+// can checkpoint and resume its draw position (dp.CountingRNG).
+func (m *NANT) RNG() RNG { return m.rng }

@@ -1,0 +1,191 @@
+package dpsync
+
+import (
+	"fmt"
+	"io"
+
+	"incshrink/internal/dp"
+	"incshrink/internal/oblivious"
+	"incshrink/internal/snapshot"
+	"incshrink/internal/table"
+	"incshrink/internal/workload"
+)
+
+// Owner-side durability. A DP-Sync strategy's guarantee — like the server
+// side's — covers the owner's *entire* arrival history, so an owner that
+// restarts must resume its noise stream and pending-backlog bookkeeping
+// exactly, not restart them. The codec here snapshots a Synchronizer
+// (pending buffer, gap statistics, dummy-ID cursor) together with its
+// strategy's mutable state; exact RNG resumption requires the strategy to
+// have been built over a dp.CountingRNG, whose draw position is recorded
+// and fast-forwarded on restore.
+
+// strategyCodec is implemented by strategies with serializable state.
+type strategyCodec interface {
+	encodeState(e *snapshot.Encoder)
+	decodeState(d *snapshot.Decoder) error
+}
+
+func (s *FixedSync) encodeState(e *snapshot.Encoder)     {}
+func (s *FixedSync) decodeState(*snapshot.Decoder) error { return nil }
+
+// rngDraws reads the draw position of a counting RNG (0 for sources that do
+// not track draws — those cannot be resumed exactly and decode will refuse
+// a non-zero position for them).
+func rngDraws(r dp.RNG) uint64 {
+	if c, ok := r.(*dp.CountingRNG); ok {
+		return c.Draws()
+	}
+	return 0
+}
+
+func (s *TimerSync) encodeState(e *snapshot.Encoder) {
+	e.Int(s.pending)
+	e.U64(rngDraws(s.rng))
+}
+
+func (s *TimerSync) decodeState(d *snapshot.Decoder) error {
+	pending := d.Int()
+	draws := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if pending < 0 {
+		d.Corrupt("dp-timer pending %d", pending)
+		return d.Err()
+	}
+	if err := dp.ResumeRNG(s.rng, draws); err != nil {
+		d.Corrupt("%v", err)
+		return d.Err()
+	}
+	s.pending = pending
+	return nil
+}
+
+func (s *ANTSync) encodeState(e *snapshot.Encoder) {
+	st := s.nant.State()
+	e.Int(s.pending)
+	e.F64(st.NoisyThreshold)
+	e.Int(st.Fires)
+	e.Int(st.Steps)
+	e.U64(rngDraws(s.nant.RNG()))
+}
+
+func (s *ANTSync) decodeState(d *snapshot.Decoder) error {
+	pending := d.Int()
+	st := dp.NANTState{NoisyThreshold: d.F64(), Fires: d.Int(), Steps: d.Int()}
+	draws := d.U64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if pending < 0 || st.Fires < 0 || st.Steps < 0 {
+		d.Corrupt("dp-ant counters (pending=%d fires=%d steps=%d)", pending, st.Fires, st.Steps)
+		return d.Err()
+	}
+	if err := dp.ResumeRNG(s.nant.RNG(), draws); err != nil {
+		d.Corrupt("%v", err)
+		return d.Err()
+	}
+	s.pending = pending
+	s.nant.SetState(st)
+	return nil
+}
+
+// EncodeState writes the synchronizer's mutable state — the pending record
+// buffer, gap statistics, dummy cursor and the strategy's own state — as one
+// self-delimiting section.
+func (sy *Synchronizer) EncodeState(e *snapshot.Encoder) {
+	e.String(sy.strategy.Name())
+	e.U32(uint32(len(sy.buffer)))
+	for _, r := range sy.buffer {
+		e.I64(r.ID)
+		e.I64s(r.Row)
+	}
+	e.Int(sy.maxGap)
+	e.Int(sy.uploads)
+	e.I64(sy.dummyID)
+	if sc, ok := sy.strategy.(strategyCodec); ok {
+		sc.encodeState(e)
+	}
+}
+
+// DecodeState reloads state written by EncodeState into a synchronizer
+// wrapping a strategy constructed with the same parameters (checked by
+// name). Buffered rows are materialized into synchronizer-owned copies.
+func (sy *Synchronizer) DecodeState(d *snapshot.Decoder) error {
+	name := d.String()
+	if d.Err() == nil && name != sy.strategy.Name() {
+		d.Corrupt("snapshot of strategy %q, restoring into %q", name, sy.strategy.Name())
+	}
+	n := d.Len()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	buffer := make([]oblivious.Record, 0, min(n, 1<<16))
+	for i := 0; i < n; i++ {
+		id := d.I64()
+		row := d.I64s()
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if len(row) != workload.StreamArity {
+			// The buffered records feed the engine's fixed-arity streams;
+			// an off-arity row would panic far downstream instead of
+			// failing the restore here.
+			d.Corrupt("buffered record with %d attributes, want %d", len(row), workload.StreamArity)
+			return d.Err()
+		}
+		buffer = append(buffer, oblivious.Record{ID: id, Row: table.Row(row)})
+	}
+	maxGap := d.Int()
+	uploads := d.Int()
+	dummyID := d.I64()
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if maxGap < 0 || uploads < 0 || dummyID > 0 {
+		d.Corrupt("synchronizer counters (maxGap=%d uploads=%d dummyID=%d)", maxGap, uploads, dummyID)
+		return d.Err()
+	}
+	if sc, ok := sy.strategy.(strategyCodec); ok {
+		if err := sc.decodeState(d); err != nil {
+			return err
+		}
+	}
+	sy.buffer = buffer
+	sy.maxGap = maxGap
+	sy.uploads = uploads
+	sy.dummyID = dummyID
+	return d.Err()
+}
+
+// Snapshot writes a standalone owner-side snapshot (header, state, CRC).
+func (sy *Synchronizer) Snapshot(w io.Writer) error {
+	enc := snapshot.NewEncoder(w)
+	snapshot.WriteHeader(enc, sy.fingerprint())
+	sy.EncodeState(enc)
+	return enc.Finish()
+}
+
+// Restore reloads a snapshot written by Snapshot; sy must wrap a strategy
+// constructed with the same parameters.
+func (sy *Synchronizer) Restore(r io.Reader) error {
+	dec := snapshot.NewDecoder(r)
+	fp, err := snapshot.ReadHeader(dec)
+	if err != nil {
+		return err
+	}
+	if fp != sy.fingerprint() {
+		return fmt.Errorf("%w: snapshot %016x, this synchronizer %016x",
+			snapshot.ErrFingerprintMismatch, fp, sy.fingerprint())
+	}
+	if err := sy.DecodeState(dec); err != nil {
+		return err
+	}
+	return dec.Finish()
+}
+
+// fingerprint hashes the strategy identity a snapshot is valid for.
+func (sy *Synchronizer) fingerprint() uint64 {
+	return snapshot.Fingerprint(sy.strategy.Name(), fmt.Sprintf("%v", sy.strategy.Epsilon()))
+}

@@ -1,0 +1,108 @@
+package dpsync
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"incshrink/internal/dp"
+	"incshrink/internal/oblivious"
+	"incshrink/internal/snapshot"
+)
+
+// mkStrategy builds a fresh strategy of the named kind over a counting RNG
+// seeded deterministically, so two builds share the random stream.
+func mkStrategy(t *testing.T, kind string) Strategy {
+	t.Helper()
+	rng := dp.NewCountingRNG(rand.New(rand.NewSource(99)))
+	switch kind {
+	case "fixed":
+		return &FixedSync{Interval: 3, Block: 4}
+	case "dp-timer":
+		s, err := NewTimerSync(3, 0.8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	case "dp-ant":
+		s, err := NewANTSync(6, 0.8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	default:
+		t.Fatalf("unknown kind %q", kind)
+		return nil
+	}
+}
+
+func arrivalsAt(t int) []oblivious.Record {
+	n := (t*7)%4 + 1
+	recs := make([]oblivious.Record, n)
+	for i := range recs {
+		id := int64(t*10 + i + 1)
+		recs[i] = oblivious.Record{ID: id, Row: []int64{id, int64(t)}}
+	}
+	return recs
+}
+
+// TestSynchronizerSnapshotRestoreContinues pins owner-side durability: a
+// synchronizer restored mid-stream must emit the same upload blocks — same
+// sizes, same records, same dummy padding — as one that never stopped, for
+// every strategy.
+func TestSynchronizerSnapshotRestoreContinues(t *testing.T) {
+	const steps, k = 60, 23
+	for _, kind := range []string{"fixed", "dp-timer", "dp-ant"} {
+		t.Run(kind, func(t *testing.T) {
+			ref := NewSynchronizer(mkStrategy(t, kind))
+			victim := NewSynchronizer(mkStrategy(t, kind))
+			for i := 0; i < k; i++ {
+				ref.Step(i, arrivalsAt(i))
+				victim.Step(i, arrivalsAt(i))
+			}
+
+			var buf bytes.Buffer
+			if err := victim.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			restored := NewSynchronizer(mkStrategy(t, kind))
+			if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+
+			for i := k; i < steps; i++ {
+				want := ref.Step(i, arrivalsAt(i))
+				got := restored.Step(i, arrivalsAt(i))
+				if len(want) != len(got) {
+					t.Fatalf("step %d: block size %d, uninterrupted %d", i, len(got), len(want))
+				}
+				for j := range want {
+					if want[j].ID != got[j].ID {
+						t.Fatalf("step %d slot %d: record %d, uninterrupted %d", i, j, got[j].ID, want[j].ID)
+					}
+				}
+			}
+			if ref.Gap() != restored.Gap() || ref.MaxGap() != restored.MaxGap() || ref.Uploads() != restored.Uploads() {
+				t.Fatalf("statistics diverged: (%d,%d,%d) vs (%d,%d,%d)",
+					restored.Gap(), restored.MaxGap(), restored.Uploads(), ref.Gap(), ref.MaxGap(), ref.Uploads())
+			}
+		})
+	}
+}
+
+// TestSynchronizerRestoreRejectsWrongStrategy pins the identity check.
+func TestSynchronizerRestoreRejectsWrongStrategy(t *testing.T) {
+	sy := NewSynchronizer(mkStrategy(t, "dp-timer"))
+	for i := 0; i < 10; i++ {
+		sy.Step(i, arrivalsAt(i))
+	}
+	var buf bytes.Buffer
+	if err := sy.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := NewSynchronizer(mkStrategy(t, "dp-ant"))
+	if err := other.Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, snapshot.ErrFingerprintMismatch) {
+		t.Fatalf("want fingerprint mismatch, got %v", err)
+	}
+}

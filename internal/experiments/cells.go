@@ -117,10 +117,17 @@ func cachedRun(kind sim.EngineKind, cfg core.Config, wl workload.Config, opts si
 			e.err = err
 			return
 		}
-		e.res, e.err = sim.RunKind(kind, cfg, tr, opts)
+		e.res, e.err = runKind(kind, cfg, tr, opts)
 	})
 	return e.res, e.err
 }
+
+// runKind is the cell execution function, sim.RunKind in production. The
+// crash-recovery golden test swaps it for a wrapper that snapshots and
+// restores the DP engines mid-run, re-deriving the same reports through a
+// restart (callers that swap it must ResetCaches around the swap — the
+// result cache is keyed by cell, not by execution function).
+var runKind = sim.RunKind
 
 // ResetCaches drops every memoized trace and result, forcing the next run
 // to simulate from scratch (used by determinism tests and benchmarks that

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"incshrink/internal/core"
+	"incshrink/internal/sim"
+	"incshrink/internal/workload"
+)
+
+// TestCrashRecoveryReproducesGoldens is the acceptance criterion of the
+// durability PR: run the paper-default evaluation with every DP engine
+// snapshotted at step k, restored into a fresh framework ("a fresh
+// process"), and continued to step 120 — the Table 2 and Figure 4 report
+// bytes must equal the pinned seed-1 goldens exactly, for both sDPTimer and
+// sDPANT, at every k in {1, 37, 60, 119}. Anything short of bit-exact
+// engine restoration (a lost RNG draw, a dropped cache slot, a meter tick)
+// shifts a count or a simulated cost somewhere in the reports and fails the
+// byte comparison.
+func TestCrashRecoveryReproducesGoldens(t *testing.T) {
+	p := Params{Steps: 120, Seed: 1, Workers: 1}
+	defer func() {
+		runKind = sim.RunKind
+		ResetCaches()
+	}()
+
+	goldens := map[string][]byte{}
+	for _, name := range []string{"table2", "fig4"} {
+		want, err := os.ReadFile(filepath.Join("testdata", "golden_"+name+"_seed1_steps120.txt"))
+		if err != nil {
+			t.Fatalf("missing golden: %v", err)
+		}
+		goldens[name] = want
+	}
+
+	for _, k := range []int{1, 37, 60, 119} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			runKind = func(kind sim.EngineKind, cfg core.Config, tr *workload.Trace, opts sim.Options) (sim.Result, error) {
+				if kind != sim.KindTimer && kind != sim.KindANT {
+					// The baselines are not what durability protects; they
+					// run uninterrupted.
+					return sim.RunKind(kind, cfg, tr, opts)
+				}
+				return sim.RunKindWithRestart(kind, cfg, tr, opts, k, func(e core.Engine) (core.Engine, error) {
+					fw := e.(*core.Framework)
+					var snap bytes.Buffer
+					if err := fw.Snapshot(&snap); err != nil {
+						return nil, err
+					}
+					// A fresh engine stands in for a fresh process: nothing
+					// carries over except the snapshot bytes.
+					fresh, err := sim.Build(kind, cfg, tr.Config)
+					if err != nil {
+						return nil, err
+					}
+					if err := fresh.(*core.Framework).Restore(bytes.NewReader(snap.Bytes())); err != nil {
+						return nil, err
+					}
+					return fresh, nil
+				})
+			}
+			// The result cache is keyed by cell, not by execution function:
+			// force a cold re-run under the restart harness.
+			ResetCaches()
+
+			for _, name := range []string{"table2", "fig4"} {
+				var got bytes.Buffer
+				if err := Registry[name](context.Background(), p, &got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got.Bytes(), goldens[name]) {
+					t.Errorf("%s after snapshot/restore at step %d diverged from the golden\n--- got ---\n%s", name, k, got.String())
+				}
+			}
+		})
+	}
+}

@@ -200,6 +200,32 @@ func (m *Meter) Reset() {
 	m.calls = [numOps]int{}
 }
 
+// MeterState is the serializable accumulator state of a Meter (per-phase
+// gate totals and call counts, indexed by Op). The cost model is a
+// construction parameter, not state.
+type MeterState struct {
+	Gates []float64
+	Calls []int
+}
+
+// State snapshots the accumulators.
+func (m *Meter) State() MeterState {
+	return MeterState{
+		Gates: append([]float64(nil), m.gates[:]...),
+		Calls: append([]int(nil), m.calls[:]...),
+	}
+}
+
+// SetState restores accumulators snapshotted with State.
+func (m *Meter) SetState(st MeterState) error {
+	if len(st.Gates) != int(numOps) || len(st.Calls) != int(numOps) {
+		return fmt.Errorf("mpc: meter state carries %d/%d phases, want %d", len(st.Gates), len(st.Calls), numOps)
+	}
+	copy(m.gates[:], st.Gates)
+	copy(m.calls[:], st.Calls)
+	return nil
+}
+
 // Snapshot captures the current per-phase totals.
 type Snapshot struct {
 	Gates   map[string]float64

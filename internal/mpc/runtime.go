@@ -2,9 +2,9 @@ package mpc
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
+	"incshrink/internal/dp"
 	"incshrink/internal/secretshare"
 )
 
@@ -109,19 +109,64 @@ func (tr *Transcript) EventsAt(t int) []Event {
 // randomness, and its transcript.
 type Party struct {
 	ID         PartyID
-	rng        *rand.Rand
+	seed       int64
+	rng        *dp.CountingRNG
 	store      map[string]secretshare.Word
 	Transcript Transcript
 }
 
-// NewParty creates a server with its own private randomness stream.
+// NewParty creates a server with its own private randomness stream. The
+// stream is wrapped in a draw counter (dp.CountingRNG) so its position can
+// be checkpointed and resumed exactly; the underlying source and therefore
+// the drawn words are unchanged.
 func NewParty(id PartyID, seed int64) *Party {
 	return &Party{
 		ID:         id,
-		rng:        rand.New(rand.NewSource(seed)),
+		seed:       seed,
+		rng:        dp.NewCountingRNG(rand.New(rand.NewSource(seed))),
 		store:      make(map[string]secretshare.Word),
 		Transcript: Transcript{Party: id},
 	}
+}
+
+// PartyState is the serializable mutable state of a Party: the private
+// randomness position, the share store, and the transcript. The party's
+// identity and seed are construction parameters, not state.
+type PartyState struct {
+	Draws  uint64
+	Store  map[string]secretshare.Word
+	Events []Event
+}
+
+// State snapshots the party (maps and slices are copied).
+func (p *Party) State() PartyState {
+	store := make(map[string]secretshare.Word, len(p.store))
+	for k, v := range p.store {
+		store[k] = v
+	}
+	return PartyState{
+		Draws:  p.rng.Draws(),
+		Store:  store,
+		Events: append([]Event(nil), p.Transcript.Events...),
+	}
+}
+
+// SetState restores a snapshot taken with State: the share store and
+// transcript are replaced, and the private randomness stream is rebuilt from
+// the party's seed and fast-forwarded to the recorded draw position, so the
+// next word drawn is exactly the one the snapshotted party would have drawn.
+func (p *Party) SetState(st PartyState) error {
+	rng := dp.NewCountingRNG(rand.New(rand.NewSource(p.seed)))
+	if err := dp.ResumeRNG(rng, st.Draws); err != nil {
+		return fmt.Errorf("mpc: restoring %v randomness: %w", p.ID, err)
+	}
+	p.rng = rng
+	p.store = make(map[string]secretshare.Word, len(st.Store))
+	for k, v := range st.Store {
+		p.store[k] = v
+	}
+	p.Transcript = Transcript{Party: p.ID, Events: append([]Event(nil), st.Events...)}
+	return nil
 }
 
 // ContributeRandom draws one uniformly random word from the party's private
@@ -162,20 +207,68 @@ type Runtime struct {
 	Meter  *Meter
 	// protocolRNG supplies randomness for share splitting *inside* the
 	// protocol where the paper's construction XORs per-party contributions;
-	// tests can fix it for reproducibility.
-	protocolRNG *rand.Rand
-	now         int
+	// tests can fix it for reproducibility. Like the party streams it is
+	// draw-counted so snapshots can resume it exactly.
+	protocolSeed int64
+	protocolRNG  *dp.CountingRNG
+	now          int
 }
 
 // NewRuntime builds a runtime with the given cost model and seed. The seed
 // derives independent streams for each party and the protocol internals.
 func NewRuntime(model CostModel, seed int64) *Runtime {
 	return &Runtime{
-		S0:          NewParty(Server0, seed*3+1),
-		S1:          NewParty(Server1, seed*3+2),
-		Meter:       NewMeter(model),
-		protocolRNG: rand.New(rand.NewSource(seed*3 + 3)),
+		S0:           NewParty(Server0, seed*3+1),
+		S1:           NewParty(Server1, seed*3+2),
+		Meter:        NewMeter(model),
+		protocolSeed: seed*3 + 3,
+		protocolRNG:  dp.NewCountingRNG(rand.New(rand.NewSource(seed*3 + 3))),
 	}
+}
+
+// RuntimeState is the serializable mutable state of a Runtime: both parties,
+// the protocol-internal randomness position, the cost meter, and the logical
+// clock. The seed and cost model are construction parameters.
+type RuntimeState struct {
+	S0, S1        PartyState
+	ProtocolDraws uint64
+	Meter         MeterState
+	Now           int
+}
+
+// State snapshots the runtime.
+func (r *Runtime) State() RuntimeState {
+	return RuntimeState{
+		S0:            r.S0.State(),
+		S1:            r.S1.State(),
+		ProtocolDraws: r.protocolRNG.Draws(),
+		Meter:         r.Meter.State(),
+		Now:           r.now,
+	}
+}
+
+// SetState restores a snapshot taken with State on a runtime constructed
+// with the same seed and cost model: share stores, transcripts, meter and
+// logical clock are replaced, and every randomness stream is fast-forwarded
+// to its recorded position, so the protocol's joint noise resumes exactly
+// where the snapshotted runtime left off.
+func (r *Runtime) SetState(st RuntimeState) error {
+	if err := r.S0.SetState(st.S0); err != nil {
+		return err
+	}
+	if err := r.S1.SetState(st.S1); err != nil {
+		return err
+	}
+	rng := dp.NewCountingRNG(rand.New(rand.NewSource(r.protocolSeed)))
+	if err := dp.ResumeRNG(rng, st.ProtocolDraws); err != nil {
+		return fmt.Errorf("mpc: restoring protocol randomness: %w", err)
+	}
+	r.protocolRNG = rng
+	if err := r.Meter.SetState(st.Meter); err != nil {
+		return err
+	}
+	r.now = st.Now
+	return nil
 }
 
 // SetTime advances the logical clock used to stamp transcript events.
@@ -253,15 +346,10 @@ func (r *Runtime) ObserveFlush(size int, label string) {
 	r.S1.Transcript.Append(ev)
 }
 
-// laplaceFromWords duplicates dp.LaplaceFromWords to avoid an import cycle
-// (internal/dp is independent of the MPC layer). The formula must stay in
-// sync with the dp package; the cross-check lives in runtime_test.go.
+// laplaceFromWords is dp.LaplaceFromWords. It was a duplicate while the MPC
+// layer avoided importing dp; since the draw-counted RNGs made mpc depend on
+// dp anyway, it now delegates (the equivalence test in mpc_test.go remains
+// as a pin on the shared formula).
 func laplaceFromWords(scale float64, zr, zs uint32) float64 {
-	const denom = float64(1 << 32)
-	r := (float64(zr) + 0.5) / denom
-	sign := 1.0
-	if zs&0x80000000 != 0 {
-		sign = -1
-	}
-	return -scale * math.Log(r) * sign
+	return dp.LaplaceFromWords(scale, zr, zs)
 }

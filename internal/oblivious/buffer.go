@@ -129,6 +129,56 @@ func (b *Buffer) AppendJoin(l, r table.Row, leftID, rightID int64) {
 	b.real++
 }
 
+// AppendSlot appends one fully specified slot — payload row, isView bit and
+// both source IDs — maintaining the real count. It is the generic
+// reconstruction append the snapshot codec uses; the specialized appends
+// (AppendRow, AppendJoin, AppendDummy) remain the hot-path forms.
+func (b *Buffer) AppendSlot(row table.Row, real bool, leftID, rightID int64) {
+	b.pay.AppendRow(row)
+	b.flag = append(b.flag, real)
+	b.left = append(b.left, leftID)
+	b.right = append(b.right, rightID)
+	if real {
+		b.real++
+	}
+}
+
+// AppendColumns bulk-appends decoded columnar state: row-major payload data
+// plus the parallel flag/ID columns, which must all describe the same number
+// of slots. It is the decode-side counterpart of the column accessors.
+func (b *Buffer) AppendColumns(payload []int64, flags []bool, left, right []int64) {
+	n := len(flags)
+	if len(left) != n || len(right) != n || (b.Arity() > 0 && len(payload) != n*b.Arity()) ||
+		(b.Arity() == 0 && len(payload) != 0) {
+		panic("oblivious: mismatched column lengths")
+	}
+	b.pay.AppendData(payload)
+	if b.Arity() == 0 {
+		// An arity-0 arena carries no attribute data, so the payload append
+		// cannot account the rows; the flag column carries the slot count.
+		for range flags {
+			b.pay.AppendZeroRow()
+		}
+	}
+	b.flag = append(b.flag, flags...)
+	b.left = append(b.left, left...)
+	b.right = append(b.right, right...)
+	for _, fl := range flags {
+		if fl {
+			b.real++
+		}
+	}
+}
+
+// Flags exposes the isView column for bulk readers (the snapshot codec).
+// Callers must not mutate or retain it across appends.
+func (b *Buffer) Flags() []bool { return b.flag }
+
+// LeftIDs and RightIDs expose the source-ID columns for bulk readers (the
+// snapshot codec). Callers must not mutate or retain them across appends.
+func (b *Buffer) LeftIDs() []int64  { return b.left }
+func (b *Buffer) RightIDs() []int64 { return b.right }
+
 // AppendDummy appends a dummy slot (zero payload, isView false, IDs -1).
 func (b *Buffer) AppendDummy() {
 	b.pay.AppendZeroRow()

@@ -223,6 +223,21 @@ func (c *Cache) Prune(keep int) (lostReal int) {
 // checks.
 func (c *Cache) Snapshot() []oblivious.Entry { return c.buf.Entries() }
 
+// Buffer exposes the cache arena for the snapshot codec. Callers other than
+// internal/snapshot must treat it as read-only; mutating it bypasses the
+// cache's operation counters.
+func (c *Cache) Buffer() *oblivious.Buffer { return c.buf }
+
+// TupleBits returns the per-slot secret payload width fixed at construction.
+func (c *Cache) TupleBits() int { return c.tupleBits }
+
+// RestoreCounters overwrites the operation counters with checkpointed
+// values; the snapshot codec calls it after reloading the arena so a
+// restored cache reports the same history as one that never stopped.
+func (c *Cache) RestoreCounters(appends, reads, flushes, maxLen int) {
+	c.appends, c.reads, c.flushes, c.maxLen = appends, reads, flushes, maxLen
+}
+
 // String summarizes the cache for logs.
 func (c *Cache) String() string {
 	return fmt.Sprintf("securearray.Cache{len=%d real=%d max=%d}", c.Len(), c.Real(), c.maxLen)
@@ -275,6 +290,10 @@ func (v *View) Buffer() *oblivious.Buffer { return v.buf }
 // Entries materializes the slots in Entry form (test and diagnostic use;
 // the query path scans the arena directly).
 func (v *View) Entries() []oblivious.Entry { return v.buf.Entries() }
+
+// RestoreUpdates overwrites the update counter with a checkpointed value
+// (snapshot codec use).
+func (v *View) RestoreUpdates(updates int) { v.updates = updates }
 
 // SizeBytes returns the storage footprint of the view given the per-slot
 // payload width, the "materialized view size (Mb)" metric of Table 2.

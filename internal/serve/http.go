@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"incshrink"
@@ -20,10 +21,15 @@ import (
 //	GET    /v1/views/{name}/count    standing view-count query
 //	POST   /v1/views/{name}/count    filtered count (CountRequest)
 //	GET    /v1/views/{name}/stats    protocol + serving stats
+//	POST   /v1/views/{name}/snapshot checkpoint the view to the data dir
+//
+// Request bodies are decoded strictly: unknown fields and trailing data
+// are 400s, not silently ignored.
 //
 // Error mapping: unknown view -> 404, duplicate create -> 409, full
 // mailbox (ErrBusy) -> 503 with Retry-After, malformed input or a
-// DB-rejected upload/query -> 400.
+// DB-rejected upload/query -> 400, snapshot without a data directory ->
+// 409, anything unrecognized -> 500.
 
 // CreateRequest declares a new view.
 type CreateRequest struct {
@@ -78,6 +84,12 @@ type CountResponse struct {
 	QETSeconds float64 `json:"qet_seconds"`
 }
 
+// SnapshotResponse reports a written checkpoint.
+type SnapshotResponse struct {
+	Path string `json:"path"`
+	Step int    `json:"step"`
+}
+
 // StatusJSON is the wire form of a view Status.
 type StatusJSON struct {
 	Name  string          `json:"name"`
@@ -91,9 +103,21 @@ type StatusJSON struct {
 // fail the block-size check afterwards.
 const maxBodyBytes = 1 << 20
 
-// decodeJSON decodes a size-capped request body into v.
+// decodeJSON decodes a size-capped request body into v, strictly: unknown
+// fields are rejected (a typo like "epsilom" must not silently select the
+// default), and so is anything after the first JSON value (trailing garbage
+// means the client composed the request wrong — acknowledging it as
+// understood would be lying).
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	return json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("unexpected data after JSON body")
+	}
+	return nil
 }
 
 // ParseCmp maps an HTTP operator token to the library's comparison
@@ -238,6 +262,21 @@ func NewHandler(reg *Registry) http.Handler {
 		writeJSON(w, http.StatusOK, statusJSON(v.Stats()))
 	}))
 
+	mux.HandleFunc("POST /v1/views/{name}/snapshot", withView(reg, func(v *View, w http.ResponseWriter, r *http.Request) {
+		// The checkpoint rides the ingest mailbox like an upload, so it
+		// reflects every previously admitted step and never tears one; like
+		// an admitted upload it completes even if the client goes away.
+		path, step, err := v.Checkpoint(context.WithoutCancel(r.Context()))
+		if err != nil {
+			if errors.Is(err, ErrBusy) {
+				w.Header().Set("Retry-After", "1")
+			}
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, SnapshotResponse{Path: path, Step: step})
+	}))
+
 	return mux
 }
 
@@ -257,6 +296,10 @@ func statusJSON(s Status) StatusJSON {
 	return StatusJSON{Name: s.Name, Stats: s.DB, Serve: s.Serve}
 }
 
+// statusFor maps an internal error to a response status. Only errors the
+// client can fix are 4xx; anything unrecognized is a server-side 500 —
+// blaming the client for an internal failure hides real bugs behind "bad
+// request".
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound):
@@ -267,8 +310,14 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
-	default:
+	case errors.Is(err, incshrink.ErrInvalidArgument):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrNoDataDir):
+		// The client asked for durability on a server not configured for
+		// it: the request is understood but unserviceable here.
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
 	}
 }
 

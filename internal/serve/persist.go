@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"incshrink"
+)
+
+// Durability for the serving layer. Every hosted view checkpoints to its
+// own snapshot file <DataDir>/<url-escaped name>.snap (the escaping makes
+// arbitrary registry names filesystem- and path-traversal-safe). Writes are
+// atomic — temp file, fsync, rename — so a crash mid-checkpoint leaves the
+// previous snapshot intact, and a restore always sees a complete stream
+// (the snapshot's own CRC catches anything else).
+
+// ErrNoDataDir reports a checkpoint or restore attempt on a registry
+// configured without a data directory.
+var ErrNoDataDir = errors.New("serve: no data directory configured")
+
+// snapSuffix names checkpoint files.
+const snapSuffix = ".snap"
+
+// escapeName makes a view name filesystem-safe. url.PathEscape covers
+// everything except the names "." and ".." (which it passes through, and
+// which the filesystem would misinterpret); their dots are escaped
+// explicitly so every legal registry name round-trips through a file name.
+func escapeName(name string) string {
+	esc := url.PathEscape(name)
+	if esc == "." || esc == ".." {
+		esc = strings.ReplaceAll(esc, ".", "%2E")
+	}
+	return esc
+}
+
+// snapPath maps a view name to its checkpoint file.
+func (r *Registry) snapPath(name string) string {
+	return filepath.Join(r.cfg.DataDir, escapeName(name)+snapSuffix)
+}
+
+// snapName recovers the view name from a checkpoint file name, reporting
+// false for files that are not checkpoints.
+func snapName(file string) (string, bool) {
+	base, ok := strings.CutSuffix(file, snapSuffix)
+	if !ok {
+		return "", false
+	}
+	name, err := url.PathUnescape(base)
+	if err != nil || name == "" {
+		return "", false
+	}
+	return name, true
+}
+
+// checkpoint snapshots the view's DB to its data-directory file. The view
+// mutex is held only for the in-memory encode (the DB must be quiescent
+// while its state is read); the disk write — serialize, fsync, rename —
+// happens unlocked, so readers and ingestion are never stalled behind
+// storage. Returns the file path and the view's logical time at the
+// checkpoint.
+func (v *View) checkpoint() (path string, step int, err error) {
+	defer func() {
+		if err != nil {
+			v.cpErrors.Add(1)
+		} else {
+			v.checkpoints.Add(1)
+		}
+	}()
+	if v.reg.cfg.DataDir == "" {
+		return "", 0, ErrNoDataDir
+	}
+	// fileMu spans encode and write: concurrent checkpointers (a periodic
+	// checkpoint racing CheckpointAll during a timed-out shutdown) are
+	// fully serialized, so an older snapshot can never rename over a newer
+	// one, and a dropped view's file is never recreated.
+	v.fileMu.Lock()
+	defer v.fileMu.Unlock()
+	if v.dropped {
+		return "", 0, fmt.Errorf("serve: checkpointing %q: %w", v.name, ErrClosed)
+	}
+	var buf bytes.Buffer
+	v.mu.Lock()
+	err = v.db.Snapshot(&buf)
+	step = v.db.Now()
+	v.mu.Unlock()
+	if err != nil {
+		return "", 0, fmt.Errorf("serve: checkpointing %q: %w", v.name, err)
+	}
+
+	path = v.reg.snapPath(v.name)
+	tmp, err := os.CreateTemp(v.reg.cfg.DataDir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return "", 0, fmt.Errorf("serve: checkpointing %q: %w", v.name, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return "", 0, fmt.Errorf("serve: checkpointing %q: %w", v.name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", 0, fmt.Errorf("serve: checkpointing %q: %w", v.name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", 0, fmt.Errorf("serve: checkpointing %q: %w", v.name, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", 0, fmt.Errorf("serve: checkpointing %q: %w", v.name, err)
+	}
+	return path, step, nil
+}
+
+// Checkpoint writes a snapshot of the view through the ingest mailbox: it
+// is serialized with uploads exactly like an Advance, so the snapshot
+// reflects every upload admitted before it and never tears a step. A full
+// mailbox fails fast with ErrBusy; a registry without a data directory
+// fails with ErrNoDataDir.
+func (v *View) Checkpoint(ctx context.Context) (path string, step int, err error) {
+	if v.reg.cfg.DataDir == "" {
+		return "", 0, ErrNoDataDir
+	}
+	req := &advanceReq{checkpoint: true, done: make(chan advanceResult, 1)}
+	v.closeMu.Lock()
+	if v.closing {
+		v.closeMu.Unlock()
+		return "", 0, ErrClosed
+	}
+	select {
+	case v.mailbox <- req:
+		v.closeMu.Unlock()
+	default:
+		v.closeMu.Unlock()
+		return "", 0, ErrBusy
+	}
+	select {
+	case res := <-req.done:
+		return res.path, res.step, res.err
+	case <-ctx.Done():
+		return "", 0, ctx.Err()
+	}
+}
+
+// CheckpointAll snapshots every registered view, taking each view's mutex
+// directly (not the mailbox), so it also works after Close has drained and
+// stopped the ingest loops — the graceful-shutdown path. Errors are joined;
+// every view is attempted.
+func (r *Registry) CheckpointAll() error {
+	if r.cfg.DataDir == "" {
+		return ErrNoDataDir
+	}
+	r.mu.RLock()
+	views := make([]*View, 0, len(r.views))
+	for _, v := range r.views {
+		views = append(views, v)
+	}
+	r.mu.RUnlock()
+	sort.Slice(views, func(i, j int) bool { return views[i].name < views[j].name })
+	var errs []error
+	for _, v := range views {
+		if _, _, err := v.checkpoint(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// RestoreAll scans the data directory and re-registers every checkpointed
+// view, rebuilding each from its snapshot (restore-on-boot). Views already
+// registered under a snapshot's name are skipped with an error rather than
+// overwritten. It returns the restored names in sorted order; on a partial
+// failure the error names every snapshot that did not load while the
+// successfully restored views stay registered and serving.
+func (r *Registry) RestoreAll() ([]string, error) {
+	if r.cfg.DataDir == "" {
+		return nil, ErrNoDataDir
+	}
+	entries, err := os.ReadDir(r.cfg.DataDir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading data directory: %w", err)
+	}
+	var restored []string
+	var errs []error
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		name, ok := snapName(ent.Name())
+		if !ok {
+			continue
+		}
+		if err := r.restoreOne(name, filepath.Join(r.cfg.DataDir, ent.Name())); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		restored = append(restored, name)
+	}
+	sort.Strings(restored)
+	return restored, errors.Join(errs...)
+}
+
+func (r *Registry) restoreOne(name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("serve: restoring %q: %w", name, err)
+	}
+	defer f.Close()
+	db, err := incshrink.Restore(f)
+	if err != nil {
+		return fmt.Errorf("serve: restoring %q from %s: %w", name, path, err)
+	}
+	if _, err := r.register(name, db); err != nil {
+		return fmt.Errorf("serve: restoring %q: %w", name, err)
+	}
+	return nil
+}

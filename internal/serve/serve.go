@@ -29,6 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,6 +60,16 @@ type Config struct {
 	// IngestWorkers bounds how many views may execute Advance
 	// simultaneously (<= 0 means GOMAXPROCS).
 	IngestWorkers int
+	// DataDir enables durability: each view checkpoints to
+	// <DataDir>/<escaped name>.snap, RestoreAll re-registers every snapshot
+	// found there at boot, and the snapshot endpoint/periodic checkpointing
+	// become available. Empty disables persistence.
+	DataDir string
+	// CheckpointEvery checkpoints a view after every N applied uploads
+	// (through the ingest loop, so a checkpoint never tears a step).
+	// 0 disables periodic checkpointing; explicit checkpoints and
+	// checkpoint-on-shutdown still work whenever DataDir is set.
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,7 +104,7 @@ func NewRegistry(cfg Config) *Registry {
 // Create opens a new view under the given name and starts its ingest loop.
 func (r *Registry) Create(name string, def incshrink.ViewDef, opts incshrink.Options) (*View, error) {
 	if name == "" {
-		return nil, fmt.Errorf("serve: view name must be non-empty")
+		return nil, fmt.Errorf("%w: view name must be non-empty", incshrink.ErrInvalidArgument)
 	}
 	// Check admission before incshrink.Open — building a framework is
 	// expensive and a retrying client should not pay it for a 409.
@@ -111,6 +122,12 @@ func (r *Registry) Create(name string, def incshrink.ViewDef, opts incshrink.Opt
 	if err != nil {
 		return nil, err
 	}
+	return r.register(name, db)
+}
+
+// register installs a ready DB under name and starts its ingest loop — the
+// shared tail of Create and RestoreAll.
+func (r *Registry) register(name string, db *incshrink.DB) (*View, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	// Re-check under the write lock: a concurrent Create or Close may have
@@ -122,10 +139,11 @@ func (r *Registry) Create(name string, def incshrink.ViewDef, opts incshrink.Opt
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	v := &View{
-		name:    name,
-		reg:     r,
-		db:      db,
-		mailbox: make(chan *advanceReq, r.cfg.MailboxDepth),
+		name:     name,
+		reg:      r,
+		db:       db,
+		mailbox:  make(chan *advanceReq, r.cfg.MailboxDepth),
+		loopDone: make(chan struct{}),
 	}
 	r.views[name] = v
 	r.wg.Add(1)
@@ -165,7 +183,9 @@ func (r *Registry) Len() int {
 
 // Drop unregisters the named view, stopping its ingest loop. Uploads
 // already admitted to the mailbox are still applied before the loop exits;
-// later Advance calls fail with ErrClosed.
+// later Advance calls fail with ErrClosed. A dropped view's checkpoint file
+// is deleted too — DELETE means the tenant is gone, not "gone until the
+// next restart resurrects it".
 func (r *Registry) Drop(name string) error {
 	r.mu.Lock()
 	v, ok := r.views[name]
@@ -177,6 +197,22 @@ func (r *Registry) Drop(name string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	v.stop()
+	if r.cfg.DataDir != "" {
+		// Wait for the ingest loop to exit before deleting the file: a
+		// queued upload (with periodic checkpointing) or a queued explicit
+		// checkpoint would otherwise rewrite the file after the delete and
+		// resurrect the dropped tenant at the next boot. Marking the view
+		// dropped under fileMu closes the remaining path (CheckpointAll
+		// bypasses the mailbox).
+		<-v.loopDone
+		v.fileMu.Lock()
+		v.dropped = true
+		err := os.Remove(r.snapPath(name))
+		v.fileMu.Unlock()
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("serve: dropping %q checkpoint: %w", name, err)
+		}
+	}
 	return nil
 }
 
@@ -227,6 +263,11 @@ type ServeStats struct {
 	// RowsLeft and RowsRight count ingested records per stream.
 	RowsLeft  int64 `json:"rows_left"`
 	RowsRight int64 `json:"rows_right"`
+	// Checkpoints counts snapshots written to the data directory;
+	// CheckpointErrors counts failed attempts (periodic checkpoint failures
+	// are surfaced here rather than failing the upload that triggered them).
+	Checkpoints      int64 `json:"checkpoints"`
+	CheckpointErrors int64 `json:"checkpoint_errors"`
 }
 
 // Status is a full snapshot of one view: identity, protocol stats, and
@@ -240,9 +281,10 @@ type Status struct {
 // View is one hosted tenant: a single incshrink.DB behind a serializing
 // mailbox. All methods are safe for concurrent use.
 type View struct {
-	name    string
-	reg     *Registry
-	mailbox chan *advanceReq
+	name     string
+	reg      *Registry
+	mailbox  chan *advanceReq
+	loopDone chan struct{} // closed when the ingest loop exits
 
 	// mu guards db — the bare DB is single-goroutine (see the incshrink
 	// package docs). The ingest loop holds it per Advance; readers hold it
@@ -250,27 +292,42 @@ type View struct {
 	mu sync.Mutex
 	db *incshrink.DB
 
-	advances atomic.Int64
-	rejected atomic.Int64
-	failed   atomic.Int64
-	queries  atomic.Int64
-	rowsL    atomic.Int64
-	rowsR    atomic.Int64
+	advances    atomic.Int64
+	rejected    atomic.Int64
+	failed      atomic.Int64
+	queries     atomic.Int64
+	rowsL       atomic.Int64
+	rowsR       atomic.Int64
+	checkpoints atomic.Int64
+	cpErrors    atomic.Int64
 
 	// closeMu guards closing and orders mailbox sends against stop()'s
 	// close; it is never held across a DB operation, so admission stays
 	// fast even while an expensive ingest step holds mu.
 	closeMu sync.Mutex
 	closing bool
+
+	// fileMu serializes checkpoint-file writes (and guards dropped), so
+	// concurrent checkpointers cannot rename an older snapshot over a
+	// newer one and a Drop is terminal: once dropped is set and the file
+	// removed, no code path recreates it.
+	fileMu  sync.Mutex
+	dropped bool
 }
 
+// advanceReq is one mailbox item: an upload, or (checkpoint=true) a request
+// to write a snapshot. Routing checkpoints through the mailbox gives them
+// the same serialization as uploads — a checkpoint can never tear a step,
+// and it reflects every upload admitted before it.
 type advanceReq struct {
 	left, right []incshrink.Row
+	checkpoint  bool
 	done        chan advanceResult
 }
 
 type advanceResult struct {
 	step int
+	path string // checkpoint file, for checkpoint requests
 	err  error
 }
 
@@ -279,7 +336,14 @@ func (v *View) Name() string { return v.name }
 
 func (v *View) ingestLoop(wg *sync.WaitGroup) {
 	defer wg.Done()
+	defer close(v.loopDone)
+	cpEvery := v.reg.cfg.CheckpointEvery
 	for req := range v.mailbox {
+		if req.checkpoint {
+			path, step, err := v.checkpoint()
+			req.done <- advanceResult{step: step, path: path, err: err}
+			continue
+		}
 		// Take the view mutex before a worker-pool slot: a slot is only
 		// ever held during an actual Advance execution, so readers parked
 		// on one view's mutex cannot pin slots and starve other views.
@@ -297,6 +361,16 @@ func (v *View) ingestLoop(wg *sync.WaitGroup) {
 			v.rowsR.Add(int64(len(req.right)))
 		}
 		req.done <- advanceResult{step: step, err: err}
+		// Periodic durability: checkpoint every cpEvery applied uploads,
+		// after the upload's acknowledgment (so its disk write never sits
+		// in the ack path) but still inside the ingest loop, before the
+		// next mailbox item — no other writer can run first, so the
+		// snapshot is exactly the post-step state. Failures are counted
+		// (and visible in stats) but do not fail any upload.
+		if err == nil && cpEvery > 0 && v.reg.cfg.DataDir != "" &&
+			v.advances.Load()%int64(cpEvery) == 0 {
+			v.checkpoint()
+		}
 	}
 }
 
@@ -373,12 +447,14 @@ func (v *View) Stats() Status {
 		Name: v.name,
 		DB:   db,
 		Serve: ServeStats{
-			Advances:  v.advances.Load(),
-			Rejected:  v.rejected.Load(),
-			Failed:    v.failed.Load(),
-			Queries:   v.queries.Load(),
-			RowsLeft:  v.rowsL.Load(),
-			RowsRight: v.rowsR.Load(),
+			Advances:         v.advances.Load(),
+			Rejected:         v.rejected.Load(),
+			Failed:           v.failed.Load(),
+			Queries:          v.queries.Load(),
+			RowsLeft:         v.rowsL.Load(),
+			RowsRight:        v.rowsR.Load(),
+			Checkpoints:      v.checkpoints.Load(),
+			CheckpointErrors: v.cpErrors.Load(),
 		},
 	}
 }

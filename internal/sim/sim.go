@@ -50,40 +50,52 @@ type Result struct {
 	QETSeries []float64
 }
 
-// Run drives the engine over every step of the trace.
-func Run(e core.Engine, tr *workload.Trace, opts Options) Result {
+// runAccum carries the per-step scoring state of a run. It lives outside
+// the engine so a run can hand off between engines mid-trace (the
+// crash-recovery harness snapshots one engine and continues on a restored
+// one) while the accumulated score covers the whole trace.
+type runAccum struct {
+	opts               Options
+	truth              int
+	sumL1, sumRel, max float64
+	sumQET             float64
+	queries            int
+	l1s, qets          []float64
+}
+
+func newRunAccum(opts Options) *runAccum {
 	if opts.QueryEvery < 1 {
 		opts.QueryEvery = 1
 	}
-	var (
-		truth              int
-		sumL1, sumRel, max float64
-		sumQET             float64
-		queries            int
-		l1s, qets          []float64
-	)
-	for _, st := range tr.Steps {
-		e.Step(st)
-		truth += st.NewPairs
-		if (st.T+1)%opts.QueryEvery != 0 {
-			continue
-		}
-		res, qet := e.Query()
-		l1 := math.Abs(float64(truth - res))
-		sumL1 += l1
-		if l1 > max {
-			max = l1
-		}
-		if truth > 0 {
-			sumRel += l1 / float64(truth)
-		}
-		sumQET += qet
-		queries++
-		if opts.KeepSeries {
-			l1s = append(l1s, l1)
-			qets = append(qets, qet)
-		}
+	return &runAccum{opts: opts}
+}
+
+// step feeds one trace step to the engine and scores the standing query.
+func (a *runAccum) step(e core.Engine, st workload.Step) {
+	e.Step(st)
+	a.truth += st.NewPairs
+	if (st.T+1)%a.opts.QueryEvery != 0 {
+		return
 	}
+	res, qet := e.Query()
+	l1 := math.Abs(float64(a.truth - res))
+	a.sumL1 += l1
+	if l1 > a.max {
+		a.max = l1
+	}
+	if a.truth > 0 {
+		a.sumRel += l1 / float64(a.truth)
+	}
+	a.sumQET += qet
+	a.queries++
+	if a.opts.KeepSeries {
+		a.l1s = append(a.l1s, l1)
+		a.qets = append(a.qets, qet)
+	}
+}
+
+// result finalizes the run from the engine that finished the trace.
+func (a *runAccum) result(e core.Engine, tr *workload.Trace) Result {
 	m := e.Metrics()
 	r := Result{
 		Engine:           e.Name(),
@@ -97,16 +109,52 @@ func Run(e core.Engine, tr *workload.Trace, opts Options) Result {
 		ViewReal:         m.ViewReal,
 		ViewBytes:        m.ViewBytes,
 		Metrics:          m,
-		L1Series:         l1s,
-		QETSeries:        qets,
+		L1Series:         a.l1s,
+		QETSeries:        a.qets,
 	}
-	if queries > 0 {
-		r.AvgL1 = sumL1 / float64(queries)
-		r.AvgRel = sumRel / float64(queries)
-		r.AvgQET = sumQET / float64(queries)
-		r.MaxL1 = max
+	if a.queries > 0 {
+		r.AvgL1 = a.sumL1 / float64(a.queries)
+		r.AvgRel = a.sumRel / float64(a.queries)
+		r.AvgQET = a.sumQET / float64(a.queries)
+		r.MaxL1 = a.max
 	}
 	return r
+}
+
+// Run drives the engine over every step of the trace.
+func Run(e core.Engine, tr *workload.Trace, opts Options) Result {
+	a := newRunAccum(opts)
+	for _, st := range tr.Steps {
+		a.step(e, st)
+	}
+	return a.result(e, tr)
+}
+
+// RunWithRestart drives e over the first k steps of the trace, hands it to
+// reload — which returns the engine to continue with, typically one rebuilt
+// from a durability snapshot of e — and finishes the trace on the returned
+// engine. The Result scores the whole trace across the hand-off, so with an
+// exact snapshot/restore it must be byte-identical to Run's (that is the
+// crash-recovery acceptance criterion pinned in internal/experiments).
+func RunWithRestart(e core.Engine, tr *workload.Trace, opts Options, k int, reload func(core.Engine) (core.Engine, error)) (Result, error) {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(tr.Steps) {
+		k = len(tr.Steps)
+	}
+	a := newRunAccum(opts)
+	for _, st := range tr.Steps[:k] {
+		a.step(e, st)
+	}
+	e2, err := reload(e)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: reload after step %d: %w", k, err)
+	}
+	for _, st := range tr.Steps[k:] {
+		a.step(e2, st)
+	}
+	return a.result(e2, tr), nil
 }
 
 // EngineKind names the five comparison candidates of Table 2.
@@ -150,6 +198,16 @@ func RunKind(kind EngineKind, cfg core.Config, tr *workload.Trace, opts Options)
 		return Result{}, err
 	}
 	return Run(e, tr, opts), nil
+}
+
+// RunKindWithRestart is RunKind with a restart after k steps (see
+// RunWithRestart): the crash-recovery harness entry point.
+func RunKindWithRestart(kind EngineKind, cfg core.Config, tr *workload.Trace, opts Options, k int, reload func(core.Engine) (core.Engine, error)) (Result, error) {
+	e, err := Build(kind, cfg, tr.Config)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunWithRestart(e, tr, opts, k, reload)
 }
 
 // RunKinds builds and runs several candidates over one shared trace,

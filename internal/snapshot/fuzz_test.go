@@ -1,0 +1,137 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"incshrink/internal/mpc"
+	"incshrink/internal/oblivious"
+	"incshrink/internal/table"
+)
+
+// FuzzDecodeBuffer feeds arbitrary bytes to the stream decoder. The
+// contract under hostile input is: typed error or clean success — never a
+// panic, never an unbounded allocation, and on success the maintained real
+// counter must equal a full scan. Seed corpus lives in
+// testdata/fuzz/FuzzDecodeBuffer (valid encodings plus framing edge cases).
+func FuzzDecodeBuffer(f *testing.F) {
+	for _, n := range []int{0, 3, 40} {
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		EncodeBuffer(enc, fuzzBuffer(2, n))
+		if err := enc.Finish(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		dst := oblivious.NewBuffer(2, 0)
+		if err := DecodeBufferInto(dec, dst); err != nil {
+			return
+		}
+		if err := dec.Finish(); err != nil {
+			return
+		}
+		if dst.Real() != dst.ScanReal() {
+			t.Fatalf("decoded buffer real counter %d != scan %d", dst.Real(), dst.ScanReal())
+		}
+	})
+}
+
+// FuzzDecodeRuntime is FuzzDecodeBuffer for the runtime section: share
+// stores, transcripts, RNG positions and the meter, decoded from arbitrary
+// bytes into a live runtime.
+func FuzzDecodeRuntime(f *testing.F) {
+	rt := mpc.NewRuntime(mpc.DefaultCostModel(), 9)
+	rt.ShareToServers("c", 4)
+	rt.JointLaplace(1.5, mpc.OpShrink)
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	EncodeRuntime(enc, rt)
+	if err := enc.Finish(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(Magic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		target := mpc.NewRuntime(mpc.DefaultCostModel(), 9)
+		dec := NewDecoder(bytes.NewReader(data))
+		if err := DecodeRuntimeInto(dec, target); err != nil {
+			return
+		}
+		dec.Finish()
+	})
+}
+
+// FuzzBufferRoundTrip fuzzes the property decode(encode(x)) == x over
+// arbitrary buffer contents: the fuzzer controls every column value, the
+// arity and the slot mix.
+func FuzzBufferRoundTrip(f *testing.F) {
+	f.Add(uint8(2), []byte{1, 2, 3, 4, 5, 6, 7, 8, 0, 1})
+	f.Add(uint8(4), []byte{})
+	f.Add(uint8(1), bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, arity uint8, raw []byte) {
+		ar := int(arity%6) + 1
+		src := oblivious.NewBuffer(ar, 0)
+		row := make(table.Row, ar)
+		// Consume raw in (flag byte, ar*8 payload bytes) chunks.
+		for len(raw) >= 1+ar*8 {
+			flagByte := raw[0]
+			raw = raw[1:]
+			for j := 0; j < ar; j++ {
+				row[j] = int64(binary.LittleEndian.Uint64(raw[j*8:]))
+			}
+			raw = raw[ar*8:]
+			src.AppendSlot(row, flagByte&1 == 1, int64(int8(flagByte>>1)), int64(int8(flagByte>>2)))
+		}
+
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		EncodeBuffer(enc, src)
+		if err := enc.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		dst := oblivious.NewBuffer(ar, 0)
+		dec := NewDecoder(bytes.NewReader(buf.Bytes()))
+		if err := DecodeBufferInto(dec, dst); err != nil {
+			t.Fatalf("round trip decode: %v", err)
+		}
+		if err := dec.Finish(); err != nil {
+			t.Fatalf("round trip trailer: %v", err)
+		}
+		if dst.Len() != src.Len() || dst.Real() != src.Real() {
+			t.Fatalf("round trip len/real (%d,%d) want (%d,%d)", dst.Len(), dst.Real(), src.Len(), src.Real())
+		}
+		for i := 0; i < src.Len(); i++ {
+			if dst.IsReal(i) != src.IsReal(i) || dst.LeftID(i) != src.LeftID(i) || dst.RightID(i) != src.RightID(i) {
+				t.Fatalf("slot %d metadata diverged", i)
+			}
+			for j := 0; j < ar; j++ {
+				if dst.At(i, j) != src.At(i, j) {
+					t.Fatalf("slot %d attr %d diverged", i, j)
+				}
+			}
+		}
+	})
+}
+
+// fuzzBuffer builds a deterministic buffer for seed corpus entries.
+func fuzzBuffer(arity, n int) *oblivious.Buffer {
+	b := oblivious.NewBuffer(arity, n)
+	row := make(table.Row, arity)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = int64(i + j*7)
+		}
+		if i%2 == 0 {
+			b.AppendSlot(row, true, int64(i), -1)
+		} else {
+			b.AppendDummy()
+		}
+	}
+	return b
+}

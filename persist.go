@@ -1,0 +1,112 @@
+package incshrink
+
+import (
+	"fmt"
+	"io"
+
+	"incshrink/internal/snapshot"
+)
+
+// Durability. A DB snapshot is a single self-contained stream: a versioned
+// header, the view definition and deployment options (so Restore can rebuild
+// the engine without any out-of-band configuration), the DB's own cursor
+// state, and the full engine state — cache and view arenas, contribution
+// budgets, secret-share stores, transcripts, the cost meter and every RNG
+// draw position — closed by a CRC-32C trailer. See DESIGN.md ("Durability")
+// for the layout and the RNG-resume invariant.
+//
+// The contract is exact resumption: a restored DB is bit-identical to the
+// one snapshotted, so the continuation of any workload produces the same
+// counts, the same simulated costs and the same DP leakage as a process
+// that never stopped.
+
+// configFingerprint canonically hashes the (defaulted) view definition and
+// options a snapshot belongs to.
+func configFingerprint(def ViewDef, opts Options) uint64 {
+	return snapshot.Fingerprint(fmt.Sprintf("%+v", def), fmt.Sprintf("%+v", opts))
+}
+
+// Snapshot serializes the database to w. The DB remains usable; the
+// snapshot captures the state as of the last completed Advance/query (a
+// snapshot never tears a step because the bare DB is single-goroutine, and
+// the serving layer serializes checkpoints behind the ingest mailbox).
+func (db *DB) Snapshot(w io.Writer) error {
+	enc := snapshot.NewEncoder(w)
+	snapshot.WriteHeader(enc, configFingerprint(db.def, db.opts))
+
+	enc.I64(db.def.Within)
+	enc.Int(db.def.Omega)
+	enc.Int(db.def.Budget)
+	enc.Bool(db.def.RightPublic)
+
+	enc.F64(db.opts.Epsilon)
+	enc.U8(uint8(db.opts.Protocol))
+	enc.Int(db.opts.T)
+	enc.F64(db.opts.Theta)
+	enc.Int(db.opts.UploadEvery)
+	enc.Int(db.opts.MaxLeft)
+	enc.Int(db.opts.MaxRight)
+	enc.I64(db.opts.Seed)
+
+	enc.Int(db.now)
+	enc.I64(db.nextID)
+
+	db.fw.EncodeState(enc)
+	return enc.Finish()
+}
+
+// Restore reads a snapshot written by DB.Snapshot and reconstructs the
+// database: the embedded definition and options rebuild the engine, then
+// the engine state is reloaded and every randomness stream fast-forwarded
+// to its recorded draw position. Typed failures: snapshot.ErrBadMagic,
+// snapshot.ErrVersionMismatch, snapshot.ErrTruncated, snapshot.ErrCorrupt,
+// snapshot.ErrFingerprintMismatch.
+func Restore(r io.Reader) (*DB, error) {
+	dec := snapshot.NewDecoder(r)
+	fp, err := snapshot.ReadHeader(dec)
+	if err != nil {
+		return nil, err
+	}
+
+	var def ViewDef
+	var opts Options
+	def.Within = dec.I64()
+	def.Omega = dec.Int()
+	def.Budget = dec.Int()
+	def.RightPublic = dec.Bool()
+
+	opts.Epsilon = dec.F64()
+	opts.Protocol = Protocol(dec.U8())
+	opts.T = dec.Int()
+	opts.Theta = dec.F64()
+	opts.UploadEvery = dec.Int()
+	opts.MaxLeft = dec.Int()
+	opts.MaxRight = dec.Int()
+	opts.Seed = dec.I64()
+
+	now := dec.Int()
+	nextID := dec.I64()
+	if err := dec.Err(); err != nil {
+		return nil, err
+	}
+	if fp != configFingerprint(def, opts) {
+		return nil, fmt.Errorf("%w: the configuration section does not match the header", snapshot.ErrFingerprintMismatch)
+	}
+	if now < 0 || nextID < 1 {
+		return nil, fmt.Errorf("%w: cursor state (now=%d nextID=%d)", snapshot.ErrCorrupt, now, nextID)
+	}
+
+	db, err := Open(def, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: embedded configuration rejected: %v", snapshot.ErrCorrupt, err)
+	}
+	db.now = now
+	db.nextID = nextID
+	if err := db.fw.DecodeState(dec); err != nil {
+		return nil, err
+	}
+	if err := dec.Finish(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
