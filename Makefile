@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-core bench-smoke recover-smoke fuzz-smoke serve
+.PHONY: check fmt vet build test race bench bench-core bench-smoke bench-batch bench-serve recover-smoke fuzz-smoke serve
 
 # check is what CI runs: formatting, static checks, build, tests.
 check: fmt vet build test
@@ -39,6 +39,21 @@ bench-core:
 bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x ./internal/oblivious ./internal/securearray
 	$(GO) test -run XXX -bench 'BenchmarkAdvance|BenchmarkCount' -benchtime 1x .
+
+# bench-batch is the batched-ingestion smoke (CI runs this): a short serve
+# benchmark comparing batch=1 against batch=8 on the Go-API and HTTP ingest
+# paths, written to BENCH_serve.json. The run itself asserts the
+# batch-vs-per-step equivalence (identical per-view counts at both batch
+# sizes); the throughput ratios are informational at smoke scale — regenerate
+# the committed report with bench-serve.
+bench-batch:
+	$(GO) run ./cmd/incshrink-bench -exp serve -views 4 -steps 60 -batch 8
+
+# bench-serve regenerates the committed serving benchmark report
+# (BENCH_serve.json) at full scale (the long horizon keeps the fast
+# ingest-bound and HTTP arms out of measurement noise).
+bench-serve:
+	$(GO) run ./cmd/incshrink-bench -exp serve -views 8 -steps 2000 -batch 8
 
 # recover-smoke proves crash recovery end to end (CI runs this): snapshot a
 # deployment mid-run, restore it, and verify counts/stats stay identical to

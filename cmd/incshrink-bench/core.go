@@ -31,9 +31,13 @@ type CoreReport struct {
 	Experiment string `json:"experiment"`
 	Deployment string `json:"deployment"`
 
-	Advance    CoreOpReport `json:"advance"`
-	Count      CoreOpReport `json:"count"`
-	CountWhere CoreOpReport `json:"count_where"`
+	Advance CoreOpReport `json:"advance"`
+	// AdvanceBatch8 is the batched ingestion path at batch size 8,
+	// normalized per step (one op = one step, not one 8-step batch), so it
+	// is directly comparable to Advance.
+	AdvanceBatch8 CoreOpReport `json:"advance_batch8"`
+	Count         CoreOpReport `json:"count"`
+	CountWhere    CoreOpReport `json:"count_where"`
 
 	// Baseline is the same benchmark recorded on the pre-refactor
 	// row-oriented engine (commit 5babe3b, this container class), kept in
@@ -50,6 +54,11 @@ type CoreReport struct {
 	// on the Advance hot path — the acceptance metric of the columnar
 	// refactor (>= 2 required).
 	AdvanceAllocsImprovement float64 `json:"advance_allocs_improvement"`
+	// BatchPerStepSpeedup is Advance ns/op over AdvanceBatch8 per-step
+	// ns/op: how much cheaper one ingested step is inside an 8-step batch
+	// than as its own Advance call, at the engine layer (serving-layer
+	// amortization is measured separately in BENCH_serve.json).
+	BatchPerStepSpeedup float64 `json:"batch_per_step_speedup"`
 }
 
 func toOpReport(r testing.BenchmarkResult) CoreOpReport {
@@ -97,6 +106,39 @@ func runCore(jsonOut string) error {
 	}
 	rep.Advance = toOpReport(advance)
 
+	const batchK = 8
+	advanceBatch := testing.Benchmark(func(b *testing.B) {
+		db, err := corebench.Open()
+		if err != nil {
+			fail(err)
+			b.SkipNow()
+		}
+		for t := 0; t < 64; t++ {
+			if err := corebench.Step(db, t); err != nil {
+				fail(err)
+				b.SkipNow()
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.AdvanceBatch(corebench.Steps(64+batchK*i, batchK)); err != nil {
+				fail(err)
+				b.SkipNow()
+			}
+		}
+	})
+	if stepErr != nil {
+		return stepErr
+	}
+	// Normalize the 8-step batch op to per-step numbers.
+	rep.AdvanceBatch8 = CoreOpReport{
+		NsPerOp:     float64(advanceBatch.T.Nanoseconds()) / float64(advanceBatch.N*batchK),
+		AllocsPerOp: advanceBatch.AllocsPerOp() / batchK,
+		BytesPerOp:  advanceBatch.AllocedBytesPerOp() / batchK,
+		Ops:         advanceBatch.N * batchK,
+	}
+
 	queryDB, err := corebench.Open()
 	if err != nil {
 		return err
@@ -140,10 +182,15 @@ func runCore(jsonOut string) error {
 		denom = 1
 	}
 	rep.AdvanceAllocsImprovement = float64(rep.Baseline.Advance.AllocsPerOp) / float64(denom)
+	if rep.AdvanceBatch8.NsPerOp > 0 {
+		rep.BatchPerStepSpeedup = rep.Advance.NsPerOp / rep.AdvanceBatch8.NsPerOp
+	}
 
 	fmt.Printf("core: advance %.0f ns/op, %d allocs/op, %d B/op (baseline %d allocs/op, %.0fx fewer)\n",
 		rep.Advance.NsPerOp, rep.Advance.AllocsPerOp, rep.Advance.BytesPerOp,
 		rep.Baseline.Advance.AllocsPerOp, rep.AdvanceAllocsImprovement)
+	fmt.Printf("core: advance-batch8 %.0f ns/step, %d allocs/step (%.2fx per-step speedup)\n",
+		rep.AdvanceBatch8.NsPerOp, rep.AdvanceBatch8.AllocsPerOp, rep.BatchPerStepSpeedup)
 	fmt.Printf("core: count %.1f ns/op (%d allocs/op), countWhere %.1f ns/op (%d allocs/op)\n",
 		rep.Count.NsPerOp, rep.Count.AllocsPerOp, rep.CountWhere.NsPerOp, rep.CountWhere.AllocsPerOp)
 

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"incshrink"
+	"incshrink/internal/runner"
+	"incshrink/internal/serve"
+)
+
+// The HTTP arm of the serve benchmark drives the server's actual ingest
+// interface — a real loopback HTTP server built on serve.NewHandler, so
+// every request pays routing, strict JSON decode, admission, the mailbox
+// round trip, JSON encode and the socket round trip. That fixed
+// per-request cost is exactly what POST /advance pays once per step and
+// POST /advance-batch amortizes across its steps.
+
+// httpStep builds one deterministic step for view i at time t: two left
+// rows and one joining right row, sized to fit the ingest-bound block
+// limits.
+func httpStep(view, t int, within int64) incshrink.StepRows {
+	k := int64(view)*1_000_000 + int64(2*t)
+	return incshrink.StepRows{
+		Left:  []incshrink.Row{{k, int64(t)}, {k + 1, int64(t)}},
+		Right: []incshrink.Row{{k, int64(t) + within/2}},
+	}
+}
+
+// post sends one JSON request over the wire, retrying 503s until the queue
+// drains.
+func post(ctx context.Context, c *http.Client, url string, body []byte) error {
+	for {
+		resp, err := c.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusCreated:
+			return nil
+		case resp.StatusCode == http.StatusServiceUnavailable:
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
+		default:
+			return fmt.Errorf("POST %s: %d %s", url, resp.StatusCode, msg)
+		}
+	}
+}
+
+// runHTTPLoad ingests views x steps over the wire at the given batch size
+// and returns a LoadReport-shaped summary (throughput fields and final
+// counts filled).
+func runHTTPLoad(ctx context.Context, views, steps int, seed int64, workers, batch int, def incshrink.ViewDef, opts incshrink.Options) (serve.LoadReport, error) {
+	reg := serve.NewRegistry(serve.Config{IngestWorkers: workers, IngestBatch: batch})
+	defer reg.Close(context.Background())
+	srv := httptest.NewServer(serve.NewHandler(reg))
+	defer srv.Close()
+	client := srv.Client()
+
+	cells := make([]runner.Cell[[2]int64], views) // {count, requests}
+	for i := 0; i < views; i++ {
+		i := i
+		name := fmt.Sprintf("http-%03d", i)
+		cells[i] = runner.Cell[[2]int64]{
+			Key: name,
+			Run: func(ctx context.Context) ([2]int64, error) {
+				vopts := opts
+				vopts.Seed = runner.DeriveSeed(seed, name)
+				if _, err := reg.Create(name, def, vopts); err != nil {
+					return [2]int64{}, err
+				}
+				base := srv.URL + "/v1/views/" + name
+				var requests int64
+				var steprun []incshrink.StepRows
+				for t := 0; t < steps; t++ {
+					steprun = append(steprun, httpStep(i, t, def.Within))
+					if len(steprun) < batch && t != steps-1 {
+						continue
+					}
+					var body []byte
+					var err error
+					url := base + "/advance"
+					if batch > 1 {
+						body, err = json.Marshal(serve.AdvanceBatchRequest{Steps: steprun})
+						url += "-batch"
+					} else {
+						body, err = json.Marshal(serve.AdvanceRequest{Left: steprun[0].Left, Right: steprun[0].Right})
+					}
+					if err != nil {
+						return [2]int64{}, err
+					}
+					if err := post(ctx, client, url, body); err != nil {
+						return [2]int64{}, err
+					}
+					requests++
+					steprun = steprun[:0]
+				}
+				resp, err := client.Get(base + "/count")
+				if err != nil {
+					return [2]int64{}, err
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					return [2]int64{}, fmt.Errorf("GET count: %d", resp.StatusCode)
+				}
+				var cr serve.CountResponse
+				if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+					return [2]int64{}, err
+				}
+				return [2]int64{int64(cr.Count), requests}, nil
+			},
+		}
+	}
+
+	start := time.Now()
+	runs, err := runner.Map(ctx, cells, workers)
+	if err != nil {
+		return serve.LoadReport{}, err
+	}
+	elapsed := time.Since(start).Seconds()
+	rep := serve.LoadReport{
+		Views: views, Steps: steps, Batch: batch, Seed: seed,
+		Advances:       int64(views * steps),
+		ElapsedSeconds: elapsed,
+		Counts:         make(map[string]int, views),
+	}
+	for i, r := range runs {
+		rep.Counts[fmt.Sprintf("http-%03d", i)] = int(r[0])
+		rep.Requests += r[1]
+	}
+	if elapsed > 0 {
+		rep.AdvancesPerSec = float64(rep.Advances) / elapsed
+	}
+	return rep, nil
+}
+
+// runHTTPPair runs the HTTP ingest path per-step and batched on one
+// deployment and packages the comparison.
+func runHTTPPair(ctx context.Context, views, steps int, seed int64, workers, batch int, label string, def incshrink.ViewDef, opts incshrink.Options) (ServePairReport, error) {
+	pr := ServePairReport{Deployment: label}
+	for _, b := range []int{1, batch} {
+		rep, err := runHTTPLoad(ctx, views, steps, seed, workers, b, def, opts)
+		if err != nil {
+			return pr, err
+		}
+		if b == 1 {
+			pr.PerStep = rep
+		} else {
+			pr.Batched = rep
+		}
+		fmt.Printf("serve[%s] batch=%d: %d advances (%.0f steps/s) over %d requests\n",
+			label, b, rep.Advances, rep.AdvancesPerSec, rep.Requests)
+	}
+	return pr, pr.finish(label)
+}

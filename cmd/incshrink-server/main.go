@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	incshrink-server -addr :8080 -mailbox 16 -ingest-workers 0 \
-//	    -data /var/lib/incshrink -checkpoint-every 100
+//	incshrink-server -addr :8080 -mailbox 16 -high-water 12 -ingest-batch 8 \
+//	    -shards 16 -ingest-workers 0 -data /var/lib/incshrink -checkpoint-every 100
 //
 // A curl session against a running server:
 //
 //	curl -X POST localhost:8080/v1/views -d '{"name":"sales","within":10,"epsilon":1.5,"seed":42}'
 //	curl -X POST localhost:8080/v1/views/sales/advance -d '{"left":[[1,0]],"right":[[1,1]]}'
+//	curl -X POST localhost:8080/v1/views/sales/advance-batch \
+//	     -d '{"steps":[{"left":[[2,1]],"right":[]},{"left":[[3,2]],"right":[[3,2]]}]}'
 //	curl localhost:8080/v1/views/sales/count
 //	curl -X POST localhost:8080/v1/views/sales/count \
 //	     -d '{"where":[{"col":"right.time","minus":"left.time","op":"<=","val":3}]}'
@@ -46,19 +48,30 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		mailbox = flag.Int("mailbox", 16, "per-view ingest queue depth (full queue -> 503)")
-		workers = flag.Int("ingest-workers", 0, "max views advancing simultaneously (0 = GOMAXPROCS)")
-		grace   = flag.Duration("grace", 10*time.Second, "graceful shutdown budget")
-		dataDir = flag.String("data", "", "data directory for view checkpoints (empty = not durable)")
-		cpEvery = flag.Int("checkpoint-every", 100, "checkpoint a view every N applied uploads (needs -data; 0 = only explicit/shutdown checkpoints)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		mailbox   = flag.Int("mailbox", 16, "per-view ingest queue capacity, in requests")
+		highWater = flag.Int("high-water", 0, "backpressure threshold in queued steps: at or past it uploads get 503 + depth-aware Retry-After (0 = mailbox capacity)")
+		batch     = flag.Int("ingest-batch", 8, "max backlogged steps coalesced into one engine batch (1 disables coalescing)")
+		maxBatch  = flag.Int("max-batch-steps", 512, "max steps one advance-batch request may carry (larger -> 400)")
+		shards    = flag.Int("shards", 16, "registry hash shards (lifecycle ops on distinct views never contend)")
+		workers   = flag.Int("ingest-workers", 0, "max views advancing simultaneously (0 = GOMAXPROCS)")
+		grace     = flag.Duration("grace", 10*time.Second, "graceful shutdown budget")
+		dataDir   = flag.String("data", "", "data directory for view checkpoints (empty = not durable)")
+		cpEvery   = flag.Int("checkpoint-every", 100, "checkpoint a view every N applied uploads (needs -data; 0 = only explicit/shutdown checkpoints)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := serve.Config{MailboxDepth: *mailbox, IngestWorkers: *workers}
+	cfg := serve.Config{
+		MailboxDepth:  *mailbox,
+		HighWater:     *highWater,
+		IngestBatch:   *batch,
+		MaxBatchSteps: *maxBatch,
+		Shards:        *shards,
+		IngestWorkers: *workers,
+	}
 	if *dataDir != "" {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 			log.Fatalf("creating data directory: %v", err)
@@ -84,8 +97,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("incshrink-server listening on %s (mailbox=%d, ingest-workers=%d, data=%q)",
-		*addr, *mailbox, *workers, cfg.DataDir)
+	log.Printf("incshrink-server listening on %s (mailbox=%d, ingest-batch=%d, shards=%d, ingest-workers=%d, data=%q)",
+		*addr, *mailbox, *batch, *shards, *workers, cfg.DataDir)
 
 	select {
 	case <-ctx.Done():

@@ -40,6 +40,25 @@ func BenchmarkAdvance(b *testing.B) {
 	}
 }
 
+// BenchmarkAdvanceBatch8 measures the batched ingestion path at batch size
+// 8; ns/op is per step (each iteration applies 8 steps through one
+// AdvanceBatch), directly comparable to BenchmarkAdvance.
+func BenchmarkAdvanceBatch8(b *testing.B) {
+	const k = 8
+	db := benchOpen(b)
+	for t := 0; t < 64; t++ { // steady state: pools warm, windows full
+		benchStep(b, db, t)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.AdvanceBatch(corebench.Steps(64+k*i, k)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/step")
+}
+
 func BenchmarkCount(b *testing.B) {
 	db := benchOpen(b)
 	for t := 0; t < 256; t++ {

@@ -262,6 +262,69 @@ func (db *DB) Advance(left, right []Row) error {
 	// only allocated once nothing can fail; consuming nextID for valid left
 	// rows and then rejecting a malformed right row would permanently burn
 	// IDs and fork the replay.
+	if err := db.validateStep(left, right); err != nil {
+		return err
+	}
+	st := workload.Step{T: db.now}
+	st.Left = db.records(left)
+	st.Right = db.records(right)
+	db.fw.Step(st)
+	db.now++
+	return nil
+}
+
+// StepRows is one time step's uploads, the unit of AdvanceBatch: the records
+// each owner received during that step, in the same {left, right} shape
+// Advance takes.
+type StepRows struct {
+	Left  []Row `json:"left"`
+	Right []Row `json:"right"`
+}
+
+// AdvanceBatch moves the database len(steps) time steps forward in one
+// call, ingesting steps[i] at logical time Now()+i. It is defined as
+// exactly equivalent to calling Advance once per element in order — same
+// counts, same record IDs, same simulated costs and DP randomness,
+// byte-identical snapshots. Batching never changes semantics; it buys
+// wall clock in the layers that pay a fixed cost per call — one
+// validation pass, and in the serving stack one admission, one HTTP
+// round trip and one lock/worker-slot acquisition per batch instead of
+// per step.
+//
+// Validation is all-or-nothing: every step of the batch is validated
+// up-front, before any state mutates or any record ID is allocated. If any
+// step is rejected (error wrapping ErrInvalidArgument, naming the offending
+// step index), the batch does not happen at all — no step is applied, the
+// logical clock does not move, and no IDs are burned — so a corrected retry
+// continues exactly where a never-failed run would have. An empty batch is
+// rejected the same way rather than silently succeeding.
+func (db *DB) AdvanceBatch(steps []StepRows) error {
+	if len(steps) == 0 {
+		return badArg("empty batch: AdvanceBatch needs at least one step")
+	}
+	for i, s := range steps {
+		if err := db.validateStep(s.Left, s.Right); err != nil {
+			return fmt.Errorf("batch step %d of %d: %w", i, len(steps), err)
+		}
+	}
+	// Nothing can fail from here on: allocate IDs in exactly the order k
+	// sequential Advance calls would have (step 0 left, step 0 right,
+	// step 1 left, ...) and hand the whole window to the engine.
+	wsteps := make([]workload.Step, len(steps))
+	for i, s := range steps {
+		wsteps[i] = workload.Step{T: db.now + i}
+		wsteps[i].Left = db.records(s.Left)
+		wsteps[i].Right = db.records(s.Right)
+	}
+	db.fw.StepBatch(wsteps)
+	db.now += len(steps)
+	return nil
+}
+
+// validateStep checks one step's uploads against the block sizes and row
+// arity without mutating anything — the shared admission gate of Advance
+// and AdvanceBatch.
+func (db *DB) validateStep(left, right []Row) error {
 	if len(left) > db.opts.MaxLeft {
 		return badArg("left upload %d exceeds block size %d", len(left), db.opts.MaxLeft)
 	}
@@ -271,15 +334,7 @@ func (db *DB) Advance(left, right []Row) error {
 	if err := validateRows("left", left); err != nil {
 		return err
 	}
-	if err := validateRows("right", right); err != nil {
-		return err
-	}
-	st := workload.Step{T: db.now}
-	st.Left = db.records(left)
-	st.Right = db.records(right)
-	db.fw.Step(st)
-	db.now++
-	return nil
+	return validateRows("right", right)
 }
 
 // validateRows checks every row of one stream before any ID is allocated.

@@ -204,11 +204,17 @@ type Framework struct {
 
 	// Per-transform scratch, reused across invocations so the steady-state
 	// Advance path allocates (almost) nothing: the padded input windows, the
-	// new-record ID set, and a flat arena for padding-record payloads (dummy
-	// records live only for the duration of one transform).
+	// new-record ID set, a flat arena for padding-record payloads (dummy
+	// records live only for the duration of one transform), and the two
+	// transform temporaries — the exhaustively padded join output and the
+	// compacted delta. The temporaries are framework-owned rather than
+	// pool-borrowed so a batched ingest (StepBatch) reuses the same arenas
+	// across every step of the batch with no pool round-trips in between.
 	inLeft, inRight []oblivious.Record
 	newIDs          map[int64]bool
 	padRows         table.Flat
+	joinBuf         *oblivious.Buffer
+	deltaBuf        *oblivious.Buffer
 
 	// Public input caps: the active windows are padded to these sizes so the
 	// Transform input — and therefore its cost and its padded output — is
@@ -254,6 +260,8 @@ func New(cfg Config, wl workload.Config, shrink Shrinker) (*Framework, error) {
 		overflow:    oblivious.NewBuffer(workload.JoinArity, 0),
 		newIDs:      make(map[int64]bool),
 		padRows:     *table.NewFlat(workload.StreamArity, 0),
+		joinBuf:     oblivious.NewBuffer(workload.JoinArity, 0),
+		deltaBuf:    oblivious.NewBuffer(workload.JoinArity, 0),
 		dummyID:     -2, // -1 is reserved for dummy entries
 	}
 	inv := invocationsPerRecord(cfg, wl)
@@ -353,6 +361,23 @@ func (f *Framework) Step(st workload.Step) {
 	}
 }
 
+// StepBatch ingests a contiguous run of time steps in one call. It is
+// defined as exactly equivalent to calling Step on every element in order —
+// same counts, same simulated costs, same RNG draws, byte-identical
+// snapshots — and is the engine-side target of batched ingestion
+// (incshrink.DB.AdvanceBatch, the serving layer's mailbox coalescing).
+// The per-step scratch — the framework-owned join/delta buffers, the
+// padding arena and input-window capacity, the memoized sort networks — is
+// warm after the first step, so the batch's marginal steps run off the
+// allocator; the wall-clock win of batching comes from the layers above
+// (one admission, one lock/worker-slot acquisition and one acknowledgment
+// per batch instead of per step).
+func (f *Framework) StepBatch(steps []workload.Step) {
+	for i := range steps {
+		f.Step(steps[i])
+	}
+}
+
 // uploadDue reports whether the owners' schedule ships a (possibly empty,
 // fully padded) block this step — Transform runs on schedule even when no
 // real data arrived, hiding the distinction.
@@ -415,7 +440,8 @@ func (f *Framework) transform(newLeft, newRight []oblivious.Record) {
 	// "at least one side is new" so pairs already produced by an earlier
 	// invocation are not regenerated (applied inside truncatedJoinInto; both
 	// checks compile to constant-size circuits over the secret payloads).
-	joined := oblivious.GetBuffer(workload.JoinArity)
+	joined := f.joinBuf
+	joined.Reset()
 	f.truncatedJoinInto(joined, f.inLeft, f.inRight)
 
 	// Tighten the exhaustively padded join output to the public
@@ -424,8 +450,8 @@ func (f *Framework) transform(newLeft, newRight []oblivious.Record) {
 	delta := joined
 	if cap := f.deltaCap(nLeft, nRight); cap > 0 {
 		f.overflow.AppendAll(joined) // carried entries first, then this batch
-		joined.Release()
-		delta = oblivious.GetBuffer(workload.JoinArity)
+		delta = f.deltaBuf
+		delta.Reset()
 		next := oblivious.GetBuffer(workload.JoinArity)
 		oblivious.TightCompactInto(f.overflow, cap, delta, next, f.rt.Meter, mpc.OpTransform, tupleBits)
 		f.overflow.Release()
@@ -441,10 +467,11 @@ func (f *Framework) transform(newLeft, newRight []oblivious.Record) {
 	f.rt.ShareToServers(counterKey, c+uint32(newReal))
 	f.created += newReal
 
-	// Alg. 1 line 7: append the exhaustively padded output to the cache.
+	// Alg. 1 line 7: append the exhaustively padded output to the cache
+	// (Append copies; delta is framework scratch reused by the next
+	// invocation).
 	f.cache.Append(delta)
 	f.rt.ObserveBatch(delta.Len(), "transform")
-	delta.Release()
 
 	// Charge contribution budgets: every private input record is consumed
 	// omega for this invocation, then the active sets are rebuilt from the

@@ -28,6 +28,21 @@ func Step(db *incshrink.DB, t int) error {
 	return db.Advance(left, right)
 }
 
+// Steps builds n contiguous steps of the same stream starting at time t0 —
+// the AdvanceBatch form of Step, so the batched benchmarks ingest the
+// identical workload.
+func Steps(t0, n int) []incshrink.StepRows {
+	out := make([]incshrink.StepRows, n)
+	for i := range out {
+		k := int64(t0 + i)
+		out[i] = incshrink.StepRows{
+			Left:  []incshrink.Row{{3 * k, k}, {3*k + 1, k}, {3*k + 2, k}},
+			Right: []incshrink.Row{{3 * k, k + 2}},
+		}
+	}
+	return out
+}
+
 // WhereCond is the filtered-count condition the CountWhere benchmark runs
 // (the paper's Q1 shape).
 func WhereCond() incshrink.Where {

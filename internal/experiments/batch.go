@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"text/tabwriter"
+
+	"incshrink/internal/runner"
+	"incshrink/internal/sim"
+)
+
+// The batched-ingestion sweep: the paper's Figure 4 analysis shows the
+// per-step synchronization cost is driven by batch size, and the serving
+// layer exploits that by coalescing backlogged steps into one AdvanceBatch.
+// This experiment pins the semantic side of that lever on the evaluation
+// grid itself: for each DP engine and each ingestion batch size k, the
+// TPC-ds trace is driven through the batched path (StepBatch chunks of k,
+// queries at batch boundaries) and compared against the sequential run of
+// the identical deployment. The protocol work is invariant under batching —
+// total simulated MPC seconds must match to the bit — and the "identical"
+// column asserts the full result equality that the serving layer's
+// correctness rests on. Wall-clock batching gains are measured separately
+// (BENCH_serve.json, BENCH_core.json); this table is deterministic and safe
+// for byte-comparison across worker counts.
+
+// BatchSizes is the ingestion batch-size sweep.
+var BatchSizes = []int{1, 7, 120}
+
+// BatchRow is one (engine, batch size) cell of the sweep.
+type BatchRow struct {
+	Kind      sim.EngineKind
+	K         int
+	Identical bool // batched result == sequential result, field for field
+	Res       sim.Result
+}
+
+// BatchSweep runs the batched-ingestion sweep on the TPC-ds deployment.
+func BatchSweep(ctx context.Context, p Params) ([]BatchRow, error) {
+	p = p.WithDefaults()
+	ds := datasets(p)[0] // TPC-ds
+	var cells []runner.Cell[BatchRow]
+	for _, kind := range dpKinds {
+		kind := kind
+		// One protocol seed per engine, shared by every k: the engine work
+		// is identical across batch sizes, so the sweep isolates the
+		// batching variable exactly.
+		seed := runner.DeriveSeed(p.Seed, fmt.Sprintf("%s|%s|batch", ds.WL.Name, kind))
+		for _, k := range BatchSizes {
+			k := k
+			cells = append(cells, runner.Cell[BatchRow]{
+				Key: fmt.Sprintf("batch|%s|k=%d", kind, k),
+				Run: func(context.Context) (BatchRow, error) {
+					cfg := ds.Cfg
+					cfg.Seed = seed
+					opts := sim.Options{QueryEvery: k}
+					want, err := cachedRun(kind, cfg, ds.WL, opts)
+					if err != nil {
+						return BatchRow{}, err
+					}
+					tr, err := sharedTrace(ds.WL)
+					if err != nil {
+						return BatchRow{}, err
+					}
+					got, err := sim.RunKindBatched(kind, cfg, tr, opts, k)
+					if err != nil {
+						return BatchRow{}, err
+					}
+					return BatchRow{Kind: kind, K: k, Identical: reflect.DeepEqual(got, want), Res: got}, nil
+				},
+			})
+		}
+	}
+	return runner.Map(ctx, cells, p.Workers)
+}
+
+// FormatBatch renders the sweep as a text table.
+func FormatBatch(rows []BatchRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "engine\tbatch\tidentical\tavgL1\tavgQET(s)\ttransform(s)\tshrink(s)\ttotalMPC(s)\tupdates")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%t\t%.2f\t%.6f\t%.4f\t%.4f\t%.4f\t%d\n",
+			r.Kind, r.K, r.Identical, r.Res.AvgL1, r.Res.AvgQET,
+			r.Res.Metrics.TransformSecs, r.Res.Metrics.ShrinkSecs,
+			r.Res.TotalMPCSecs, r.Res.Metrics.Updates)
+	}
+	w.Flush()
+	return b.String()
+}

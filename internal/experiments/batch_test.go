@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"incshrink/internal/core"
+	"incshrink/internal/sim"
+	"incshrink/internal/workload"
+)
+
+// TestBatchedGoldenReportsByteIdentical re-derives the pinned Table 2 and
+// Figure 4 report bytes with every cell executed through the batched
+// ingestion path (sim.RunKindBatched): the batched plumbing must reproduce
+// the sequential engine bit for bit, so the golden files captured from the
+// pre-batching engine still match exactly.
+func TestBatchedGoldenReportsByteIdentical(t *testing.T) {
+	p := Params{Steps: 120, Seed: 1, Workers: 1}
+	defer func() {
+		runKind = sim.RunKind
+		ResetCaches()
+	}()
+
+	for _, k := range []int{7, 120} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			runKind = func(kind sim.EngineKind, cfg core.Config, tr *workload.Trace, opts sim.Options) (sim.Result, error) {
+				return sim.RunKindBatched(kind, cfg, tr, opts, k)
+			}
+			ResetCaches()
+			for _, name := range []string{"table2", "fig4"} {
+				want, err := os.ReadFile(filepath.Join("testdata", "golden_"+name+"_seed1_steps120.txt"))
+				if err != nil {
+					t.Fatalf("missing golden: %v", err)
+				}
+				var got bytes.Buffer
+				if err := Registry[name](context.Background(), p, &got); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got.Bytes(), want) {
+					t.Errorf("%s diverged from the golden when run through the batched path (k=%d)", name, k)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchSweepInvariants checks the sweep's load-bearing claims: every
+// cell reports exact equality with its sequential reference, and the total
+// simulated MPC cost is invariant across batch sizes for a fixed engine
+// (batching changes wall clock, never protocol work).
+func TestBatchSweepInvariants(t *testing.T) {
+	rows, err := BatchSweep(context.Background(), Params{Steps: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(dpKinds)*len(BatchSizes) {
+		t.Fatalf("%d rows, want %d", len(rows), len(dpKinds)*len(BatchSizes))
+	}
+	mpcByKind := map[sim.EngineKind]float64{}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("%s k=%d: batched run not identical to sequential", r.Kind, r.K)
+		}
+		if prev, ok := mpcByKind[r.Kind]; ok {
+			if r.Res.TotalMPCSecs != prev {
+				t.Errorf("%s k=%d: total MPC %.9f differs across batch sizes (%.9f)", r.Kind, r.K, r.Res.TotalMPCSecs, prev)
+			}
+		} else {
+			mpcByKind[r.Kind] = r.Res.TotalMPCSecs
+		}
+	}
+}

@@ -413,7 +413,7 @@ func SortBuffer(b *Buffer, less LessAt, meter *mpc.Meter, op mpc.Op, tupleBits i
 	for i := 0; i < n; i++ {
 		perm = append(perm, int32(i))
 	}
-	batcherNetwork(n, func(i, j int) {
+	forEachComparator(n, func(i, j int) {
 		if less(b, int(perm[j]), int(perm[i])) {
 			perm[i], perm[j] = perm[j], perm[i]
 		}

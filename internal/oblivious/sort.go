@@ -14,6 +14,9 @@
 package oblivious
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"incshrink/internal/mpc"
 	"incshrink/internal/table"
 )
@@ -101,11 +104,65 @@ func Sort(es []Entry, less Less, meter *mpc.Meter, op mpc.Op, tupleBits int) {
 	if meter != nil {
 		meter.ChargeSort(op, n, tupleBits)
 	}
-	batcherNetwork(n, func(i, j int) {
+	forEachComparator(n, func(i, j int) {
 		if less(es[j], es[i]) {
 			es[i], es[j] = es[j], es[i]
 		}
 	})
+}
+
+// networkCache memoizes the comparator list of Batcher's network per input
+// length. The network is a pure function of n, and the engine sorts the
+// same few padded sizes over and over (every Transform of a deployment
+// sorts identically sized arrays — in a batched ingest run, once per step),
+// so replaying a flat pair list replaces the four nested loops and the
+// per-comparator index arithmetic of the enumeration on every sort after
+// the first. The cache is bounded two ways: lengths above networkCacheMaxN
+// are never cached (O(n log^2 n) pairs for rare one-off sizes), and the
+// total retained pairs across all lengths are capped by
+// networkCachePairBudget — important in the multi-tenant server, where
+// sort sizes derive from client-chosen deployments and an adversarial mix
+// of block sizes must not grow resident memory without bound. Beyond the
+// budget, sorts fall back to direct enumeration.
+var (
+	networkCache      sync.Map     // int -> []int32, comparator pairs flattened (i0,j0,i1,j1,...)
+	networkCachePairs atomic.Int64 // pairs currently retained across all entries
+)
+
+const (
+	networkCacheMaxN       = 1 << 13
+	networkCachePairBudget = 4 << 20 // ~32 MiB of int32 pairs total
+)
+
+// forEachComparator invokes cmpSwap over the comparators of the n-element
+// network in exactly batcherNetwork's order (a cached list is recorded
+// from one enumeration, so the access pattern — and therefore the sort
+// order and the leakage transcript — is identical on both paths).
+func forEachComparator(n int, cmpSwap func(i, j int)) {
+	if n > networkCacheMaxN {
+		batcherNetwork(n, cmpSwap)
+		return
+	}
+	v, ok := networkCache.Load(n)
+	if !ok {
+		var pairs []int32
+		batcherNetwork(n, func(i, j int) {
+			pairs = append(pairs, int32(i), int32(j))
+		})
+		nPairs := int64(len(pairs) / 2)
+		if networkCachePairs.Add(nPairs) <= networkCachePairBudget {
+			if _, loaded := networkCache.LoadOrStore(n, pairs); loaded {
+				networkCachePairs.Add(-nPairs) // lost the race: not retained
+			}
+		} else {
+			networkCachePairs.Add(-nPairs) // budget exhausted: don't retain
+		}
+		v = pairs
+	}
+	pairs := v.([]int32)
+	for k := 0; k < len(pairs); k += 2 {
+		cmpSwap(int(pairs[k]), int(pairs[k+1]))
+	}
 }
 
 // batcherNetwork enumerates the comparators of Batcher's odd-even merge

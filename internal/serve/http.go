@@ -7,29 +7,33 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"incshrink"
 )
 
 // The HTTP JSON API over a Registry. Routes (all JSON in and out):
 //
-//	GET    /healthz                  liveness + view count
-//	GET    /v1/views                 list view names
-//	POST   /v1/views                 create a view (CreateRequest)
-//	DELETE /v1/views/{name}          drop a view
-//	POST   /v1/views/{name}/advance  ingest one time step (AdvanceRequest)
-//	GET    /v1/views/{name}/count    standing view-count query
-//	POST   /v1/views/{name}/count    filtered count (CountRequest)
-//	GET    /v1/views/{name}/stats    protocol + serving stats
-//	POST   /v1/views/{name}/snapshot checkpoint the view to the data dir
+//	GET    /healthz                        liveness + view count
+//	GET    /v1/views                       list view names
+//	POST   /v1/views                       create a view (CreateRequest)
+//	DELETE /v1/views/{name}                drop a view
+//	POST   /v1/views/{name}/advance        ingest one time step (AdvanceRequest)
+//	POST   /v1/views/{name}/advance-batch  ingest several contiguous steps
+//	                                       atomically (AdvanceBatchRequest)
+//	GET    /v1/views/{name}/count          standing view-count query
+//	POST   /v1/views/{name}/count          filtered count (CountRequest)
+//	GET    /v1/views/{name}/stats          protocol + serving stats
+//	POST   /v1/views/{name}/snapshot       checkpoint the view to the data dir
 //
 // Request bodies are decoded strictly: unknown fields and trailing data
 // are 400s, not silently ignored.
 //
-// Error mapping: unknown view -> 404, duplicate create -> 409, full
-// mailbox (ErrBusy) -> 503 with Retry-After, malformed input or a
-// DB-rejected upload/query -> 400, snapshot without a data directory ->
-// 409, anything unrecognized -> 500.
+// Error mapping: unknown view -> 404, duplicate create -> 409, ingest
+// queue past high water (ErrBusy) -> 503 with a depth-aware Retry-After
+// derived from the view's observed per-step ingest time, malformed input
+// or a DB-rejected upload/query -> 400, snapshot without a data directory
+// -> 409, anything unrecognized -> 500.
 
 // CreateRequest declares a new view.
 type CreateRequest struct {
@@ -61,6 +65,23 @@ type AdvanceRequest struct {
 // AdvanceResponse reports the view's logical time after the step.
 type AdvanceResponse struct {
 	Step int `json:"step"`
+}
+
+// AdvanceBatchRequest carries a contiguous run of time steps, applied
+// all-or-nothing: steps[i] ingests at the view's logical time Now()+i, and
+// if any step is invalid the whole batch is rejected with nothing applied
+// (the incshrink.DB.AdvanceBatch contract). Batches above the server's
+// Config.MaxBatchSteps are rejected with 400 — one atomic batch holds the
+// view's write lock for its whole application.
+type AdvanceBatchRequest struct {
+	Steps []incshrink.StepRows `json:"steps"`
+}
+
+// AdvanceBatchResponse reports the view's logical time after the batch and
+// how many steps it applied.
+type AdvanceBatchResponse struct {
+	Step  int `json:"step"`
+	Steps int `json:"steps"`
 }
 
 // WhereJSON is one filter condition of a CountRequest. Op is one of
@@ -222,13 +243,26 @@ func NewHandler(reg *Registry) http.Handler {
 		// time step.
 		step, err := v.Advance(context.WithoutCancel(r.Context()), req.Left, req.Right)
 		if err != nil {
-			if errors.Is(err, ErrBusy) {
-				w.Header().Set("Retry-After", "1")
-			}
-			writeError(w, statusFor(err), err)
+			writeBusyAware(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, AdvanceResponse{Step: step})
+	}))
+
+	mux.HandleFunc("POST /v1/views/{name}/advance-batch", withView(reg, func(v *View, w http.ResponseWriter, r *http.Request) {
+		var req AdvanceBatchRequest
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding advance-batch request: %w", err))
+			return
+		}
+		// Same detachment as the single-step route: an admitted batch is
+		// applied (atomically) even if the client goes away.
+		step, err := v.AdvanceBatch(context.WithoutCancel(r.Context()), req.Steps)
+		if err != nil {
+			writeBusyAware(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, AdvanceBatchResponse{Step: step, Steps: len(req.Steps)})
 	}))
 
 	count := withView(reg, func(v *View, w http.ResponseWriter, r *http.Request) {
@@ -268,10 +302,7 @@ func NewHandler(reg *Registry) http.Handler {
 		// an admitted upload it completes even if the client goes away.
 		path, step, err := v.Checkpoint(context.WithoutCancel(r.Context()))
 		if err != nil {
-			if errors.Is(err, ErrBusy) {
-				w.Header().Set("Retry-After", "1")
-			}
-			writeError(w, statusFor(err), err)
+			writeBusyAware(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, SnapshotResponse{Path: path, Step: step})
@@ -319,6 +350,17 @@ func statusFor(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// writeBusyAware writes an ingest error, attaching the depth-aware
+// Retry-After hint when the error is a backpressure rejection: the header
+// reflects how long the view's queue should take to drain below high water
+// at its observed per-step ingest rate, not a hardcoded constant.
+func writeBusyAware(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrBusy) {
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(err)))
+	}
+	writeError(w, statusFor(err), err)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

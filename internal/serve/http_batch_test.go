@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"incshrink"
+)
+
+// TestHTTPAdvanceBatch drives the advance-batch endpoint over the wire:
+// a batch ingests atomically, a batch with an invalid step is rejected
+// whole (400, clock unmoved), an empty batch is a 400, and the per-step
+// and batched routes interleave on one view.
+func TestHTTPAdvanceBatch(t *testing.T) {
+	reg := NewRegistry(Config{})
+	defer reg.Close(t.Context())
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+	c := srv.Client()
+
+	if code := doJSON(t, c, "POST", srv.URL+"/v1/views",
+		CreateRequest{Name: "sales", Within: 5, MaxLeft: 4, MaxRight: 4, Seed: 7}, nil); code != 201 {
+		t.Fatalf("create: %d", code)
+	}
+	base := srv.URL + "/v1/views/sales"
+
+	var br AdvanceBatchResponse
+	steps := []incshrink.StepRows{
+		{Left: []incshrink.Row{{1, 0}}, Right: []incshrink.Row{{1, 1}}},
+		{Left: []incshrink.Row{{2, 1}}, Right: []incshrink.Row{{2, 2}}},
+		{Left: []incshrink.Row{{3, 2}}},
+	}
+	if code := doJSON(t, c, "POST", base+"/advance-batch", AdvanceBatchRequest{Steps: steps}, &br); code != 200 {
+		t.Fatalf("advance-batch: %d", code)
+	}
+	if br.Step != 3 || br.Steps != 3 {
+		t.Fatalf("batch response %+v, want step=3 steps=3", br)
+	}
+
+	// A poisoned batch: step 1 exceeds MaxLeft=4. All-or-nothing — 400 and
+	// the logical clock must not move.
+	bad := []incshrink.StepRows{
+		{Left: []incshrink.Row{{4, 3}}},
+		{Left: []incshrink.Row{{5, 3}, {6, 3}, {7, 3}, {8, 3}, {9, 3}}},
+	}
+	if code := doJSON(t, c, "POST", base+"/advance-batch", AdvanceBatchRequest{Steps: bad}, nil); code != 400 {
+		t.Fatalf("poisoned batch: %d, want 400", code)
+	}
+	if code := doJSON(t, c, "POST", base+"/advance-batch", AdvanceBatchRequest{}, nil); code != 400 {
+		t.Fatalf("empty batch: %d, want 400", code)
+	}
+	var st StatusJSON
+	if code := doJSON(t, c, "GET", base+"/stats", nil, &st); code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if st.Stats.Step != 3 {
+		t.Fatalf("step after rejected batches = %d, want 3", st.Stats.Step)
+	}
+	if st.Serve.Advances != 3 || st.Serve.Failed != 1 {
+		t.Fatalf("serve stats %+v, want advances=3 failed=1", st.Serve)
+	}
+
+	// Per-step and batched routes compose on the same view.
+	var ar AdvanceResponse
+	if code := doJSON(t, c, "POST", base+"/advance",
+		AdvanceRequest{Left: []incshrink.Row{{4, 3}}, Right: []incshrink.Row{{4, 4}}}, &ar); code != 200 {
+		t.Fatalf("advance after batch: %d", code)
+	}
+	if ar.Step != 4 {
+		t.Fatalf("step = %d, want 4", ar.Step)
+	}
+	var cr CountResponse
+	if code := doJSON(t, c, "GET", base+"/count", nil, &cr); code != 200 {
+		t.Fatalf("count: %d", code)
+	}
+}

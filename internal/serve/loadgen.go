@@ -25,6 +25,12 @@ type LoadConfig struct {
 	// RowsPerStep is how many rows each stream uploads per step (default
 	// 2; must fit the configured block sizes).
 	RowsPerStep int
+	// Batch is how many contiguous steps each driver submits per request:
+	// 1 (the default) means one Advance per step, larger values go through
+	// View.AdvanceBatch. The ingested step sequence — and therefore every
+	// per-view count — is identical at any batch size; only the request
+	// shape changes.
+	Batch int
 	// Def and Opts are the per-view deployment; each view derives its own
 	// protocol and workload seed from Opts.Seed and its name.
 	Def  incshrink.ViewDef
@@ -45,6 +51,9 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	}
 	if c.RowsPerStep <= 0 {
 		c.RowsPerStep = 2
+	}
+	if c.Batch <= 0 {
+		c.Batch = 1
 	}
 	if c.Def.Within == 0 {
 		c.Def.Within = 10
@@ -69,9 +78,13 @@ type LoadReport struct {
 	Views       int   `json:"views"`
 	Steps       int   `json:"steps"`
 	RowsPerStep int   `json:"rows_per_step"`
+	Batch       int   `json:"batch"`
 	Seed        int64 `json:"seed"`
 
+	// Advances counts applied steps; Requests counts ingest submissions
+	// (Advances/Requests ~= Batch).
 	Advances int64 `json:"advances"`
+	Requests int64 `json:"requests"`
 	Queries  int64 `json:"queries"`
 	Rows     int64 `json:"rows"`
 
@@ -80,6 +93,9 @@ type LoadReport struct {
 	QueriesPerSec  float64 `json:"queries_per_sec"`
 	RowsPerSec     float64 `json:"rows_per_sec"`
 
+	// AdvanceLatency is the per-request ingest latency distribution (for
+	// batched runs one request covers Batch steps); QueryLatency is per
+	// standing query.
 	AdvanceLatency LatencyStats `json:"advance_latency"`
 	QueryLatency   LatencyStats `json:"query_latency"`
 
@@ -94,6 +110,7 @@ type viewRun struct {
 	name        string
 	count       int
 	advances    int64
+	requests    int64
 	queries     int64
 	rows        int64
 	advanceLats []float64
@@ -149,13 +166,19 @@ func RunLoad(ctx context.Context, reg *Registry, cfg LoadConfig) (LoadReport, er
 		Views:          cfg.Views,
 		Steps:          cfg.Steps,
 		RowsPerStep:    cfg.RowsPerStep,
+		Batch:          cfg.Batch,
 		Seed:           cfg.Opts.Seed,
 		ElapsedSeconds: elapsed,
 		Counts:         make(map[string]int, len(runs)),
 	}
+	// runner.Map hands the runs back in view order no matter which worker
+	// finished first, so the merged latency sample — and therefore every
+	// percentile below, which latencyStats computes on a sorted copy — is a
+	// deterministic function of the per-view samples at any -workers value.
 	var advLats, qryLats []float64
 	for _, r := range runs {
 		rep.Advances += r.advances
+		rep.Requests += r.requests
 		rep.Queries += r.queries
 		rep.Rows += r.rows
 		rep.Counts[r.name] = r.count
@@ -182,31 +205,54 @@ func driveView(ctx context.Context, reg *Registry, name string, cfg LoadConfig) 
 	run := viewRun{name: name}
 	rng := rand.New(rand.NewSource(runner.DeriveSeed(cfg.Opts.Seed, name+"/workload")))
 	nextKey := int64(1)
+	// submit pushes one request — a single step or a Batch-sized run —
+	// retrying admission rejections until the queue drains.
+	submit := func(steps []incshrink.StepRows, t int) error {
+		rows := 0
+		for _, s := range steps {
+			rows += len(s.Left) + len(s.Right)
+		}
+		for {
+			s := time.Now()
+			_, err := v.AdvanceBatch(ctx, steps)
+			if err == nil {
+				run.advanceLats = append(run.advanceLats, time.Since(s).Seconds())
+				run.requests++
+				run.advances += int64(len(steps))
+				run.rows += int64(rows)
+				return nil
+			}
+			if !errors.Is(err, ErrBusy) {
+				return fmt.Errorf("view %s step %d: %w", name, t, err)
+			}
+			// Admission rejection: back off until the queue drains.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	batch := make([]incshrink.StepRows, 0, cfg.Batch)
 	for t := 0; t < cfg.Steps; t++ {
 		if err := ctx.Err(); err != nil {
 			return viewRun{}, err
 		}
 		left, right := genStep(rng, t, cfg.RowsPerStep, cfg.Def.Within, &nextKey)
-		for {
-			s := time.Now()
-			_, err := v.Advance(ctx, left, right)
-			if err == nil {
-				run.advanceLats = append(run.advanceLats, time.Since(s).Seconds())
-				run.advances++
-				run.rows += int64(len(left) + len(right))
-				break
-			}
-			if !errors.Is(err, ErrBusy) {
-				return viewRun{}, fmt.Errorf("view %s step %d: %w", name, t, err)
-			}
-			// Admission rejection: back off until the mailbox drains.
-			select {
-			case <-ctx.Done():
-				return viewRun{}, ctx.Err()
-			case <-time.After(time.Millisecond):
-			}
+		batch = append(batch, incshrink.StepRows{Left: left, Right: right})
+		if len(batch) < cfg.Batch && t != cfg.Steps-1 {
+			continue
 		}
-		if (t+1)%cfg.QueryEvery == 0 {
+		first := t + 1 - len(batch)
+		if err := submit(batch, t); err != nil {
+			return viewRun{}, err
+		}
+		batch = batch[:0]
+		// The standing query fires on the per-step schedule, evaluated at
+		// request boundaries: with Batch == 1 this is exactly "query when
+		// (t+1) % QueryEvery == 0"; batched drivers query once per request
+		// whose span crossed a schedule point.
+		if (t+1)/cfg.QueryEvery != first/cfg.QueryEvery {
 			s := time.Now()
 			n, _ := v.Count()
 			run.queryLats = append(run.queryLats, time.Since(s).Seconds())
@@ -226,10 +272,14 @@ func driveView(ctx context.Context, reg *Registry, name string, cfg LoadConfig) 
 }
 
 // latencyStats computes the percentile summary of a sample (nearest-rank).
+// It sorts a copy, never the caller's slice: the percentiles are a function
+// of the sample multiset alone, so they cannot depend on the order workers
+// finished in, and the caller's per-view sample runs stay intact.
 func latencyStats(samples []float64) LatencyStats {
 	if len(samples) == 0 {
 		return LatencyStats{}
 	}
+	samples = append([]float64(nil), samples...)
 	sort.Float64s(samples)
 	q := func(p float64) float64 {
 		i := int(p*float64(len(samples))+0.5) - 1

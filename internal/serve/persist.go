@@ -126,7 +126,7 @@ func (v *View) Checkpoint(ctx context.Context) (path string, step int, err error
 	if v.reg.cfg.DataDir == "" {
 		return "", 0, ErrNoDataDir
 	}
-	req := &advanceReq{checkpoint: true, done: make(chan advanceResult, 1)}
+	req := &ingestReq{checkpoint: true, done: make(chan ingestResult, 1)}
 	v.closeMu.Lock()
 	if v.closing {
 		v.closeMu.Unlock()
@@ -137,7 +137,7 @@ func (v *View) Checkpoint(ctx context.Context) (path string, step int, err error
 		v.closeMu.Unlock()
 	default:
 		v.closeMu.Unlock()
-		return "", 0, ErrBusy
+		return "", 0, v.busy(int(v.depth.Load()))
 	}
 	select {
 	case res := <-req.done:
@@ -155,12 +155,16 @@ func (r *Registry) CheckpointAll() error {
 	if r.cfg.DataDir == "" {
 		return ErrNoDataDir
 	}
-	r.mu.RLock()
-	views := make([]*View, 0, len(r.views))
-	for _, v := range r.views {
-		views = append(views, v)
+	var views []*View
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, v := range sh.views {
+			if !v.dropping {
+				views = append(views, v)
+			}
+		}
+		sh.mu.RUnlock()
 	}
-	r.mu.RUnlock()
 	sort.Slice(views, func(i, j int) bool { return views[i].name < views[j].name })
 	var errs []error
 	for _, v := range views {

@@ -7,32 +7,58 @@
 //   - Writes go through a bounded per-view mailbox drained by a single
 //     ingest goroutine, so Advance stays strictly serialized per view (the
 //     paper's "owners upload in time-step order" invariant) while distinct
-//     views ingest in parallel. A full mailbox rejects with ErrBusy — that
-//     is the admission control an HTTP front end maps to 503.
+//     views ingest in parallel. The ingest goroutine coalesces queued steps:
+//     up to Config.IngestBatch backlogged steps drain into one
+//     incshrink.DB.AdvanceBatch call, amortizing the engine's scratch and
+//     the serving layer's locking across the backlog (the transfer cost
+//     amortization of the paper's Figure 4 batch-size lever).
+//   - Admission is depth-aware backpressure rather than a full-or-nothing
+//     mailbox: an upload is rejected with ErrBusy only once the queue depth
+//     (in steps) reaches Config.HighWater, and the rejection carries a
+//     retry hint derived from the observed per-step ingest time and the
+//     current depth (BusyError), which the HTTP front end maps to 503 +
+//     Retry-After.
+//   - The registry itself is hash-sharded (Config.Shards): Create, Get,
+//     Drop and Names on views in distinct shards never contend on a lock,
+//     so a hot tenant's lifecycle traffic cannot stall lookups of the rest.
 //   - Total ingest parallelism across views is bounded by a worker-pool
 //     semaphore (the internal/runner pattern: IngestWorkers slots, <= 0
 //     meaning GOMAXPROCS), so a thousand registered views cannot start a
-//     thousand simultaneous MPC transforms.
+//     thousand simultaneous MPC transforms. A coalesced batch holds its
+//     slot once for the whole batch.
 //   - Reads (Count, CountWhere, Stats) take the view's mutex directly and
-//     interleave between queued Advance steps, so queries are served while
+//     interleave between queued Advance batches, so queries are served while
 //     ingestion is in flight instead of waiting behind the whole mailbox.
 //     Note that "reads" still serialize on the mutex: a simulated secure
 //     query charges the view's cost meter, so it is a write at the DB layer.
 //
 // Determinism is preserved per view: because the mailbox serializes each
-// view's Advance order, a view ingesting a given step sequence through the
-// registry — under any amount of cross-view concurrency — produces counts
-// byte-identical to a sequential single-view run at the same seed.
+// view's step order and AdvanceBatch is byte-identical to sequential
+// Advance calls, a view ingesting a given step sequence through the
+// registry — under any amount of cross-view concurrency or coalescing —
+// produces counts byte-identical to a sequential single-view run at the
+// same seed.
+//
+// Lifecycle is race-free by construction and pinned by race-detector tests:
+// a view registered concurrently with Close is either drained by Close or
+// rejected with ErrClosed (the check-and-register is atomic under the shard
+// lock Close's sweep takes after setting the closed flag), and Drop keeps
+// the name reserved until the view's ingest loop has exited and its
+// checkpoint file is gone, so neither a queued checkpoint nor an immediate
+// re-Create can resurrect a dropped tenant's state.
 package serve
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"incshrink"
 	"incshrink/internal/runner"
@@ -40,23 +66,69 @@ import (
 
 // Sentinel errors of the serving layer.
 var (
-	// ErrBusy reports a full mailbox: the view's ingest queue is at
-	// capacity and the upload was not admitted.
-	ErrBusy = errors.New("serve: view mailbox full, upload not admitted")
+	// ErrBusy reports backpressure: the view's ingest queue is at or past
+	// the high-water mark and the upload was not admitted. Rejections are
+	// returned as a *BusyError wrapping ErrBusy, carrying the observed
+	// queue depth and a retry hint.
+	ErrBusy = errors.New("serve: view ingest queue past high water, upload not admitted")
 	// ErrNotFound reports an unknown view name.
 	ErrNotFound = errors.New("serve: view not found")
-	// ErrExists reports a Create against a name already registered.
+	// ErrExists reports a Create against a name already registered
+	// (including one still draining after a Drop).
 	ErrExists = errors.New("serve: view already exists")
 	// ErrClosed reports an operation against a closed registry or a
 	// dropped view.
 	ErrClosed = errors.New("serve: closed")
 )
 
+// BusyError is the concrete admission rejection: errors.Is(err, ErrBusy)
+// matches it, and errors.As exposes the backpressure context — the queue
+// depth (in steps) observed at rejection and a hint for when the queue is
+// expected to have drained below the high-water mark, derived from the
+// view's recent per-step ingest time.
+type BusyError struct {
+	// Depth is the view's queued step count at the rejection.
+	Depth int
+	// RetryAfter is the suggested wait before retrying.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("%v (depth %d, retry in %s)", ErrBusy, e.Depth, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Unwrap lets errors.Is(err, ErrBusy) keep working.
+func (e *BusyError) Unwrap() error { return ErrBusy }
+
 // Config tunes the registry.
 type Config struct {
-	// MailboxDepth is the per-view bounded ingest queue; an Advance that
-	// finds the mailbox full fails fast with ErrBusy. Default 16.
+	// MailboxDepth is the per-view bounded ingest queue capacity, in
+	// requests. Default 16.
 	MailboxDepth int
+	// HighWater is the backpressure threshold, in queued steps: an upload
+	// that finds the view's queue depth at or past HighWater fails fast
+	// with a *BusyError. Defaults to MailboxDepth (reject roughly when the
+	// queue is full of single-step requests); set it lower to shed load
+	// early while keeping mailbox headroom for control traffic
+	// (checkpoints), or higher than MailboxDepth to let batch-submitting
+	// clients queue deeper (a batch request holds several steps in one
+	// mailbox slot).
+	HighWater int
+	// IngestBatch is the coalescing bound: the ingest goroutine drains up
+	// to this many backlogged steps into one AdvanceBatch call. Default 8;
+	// 1 disables coalescing.
+	IngestBatch int
+	// MaxBatchSteps caps the steps one client AdvanceBatch request may
+	// carry (larger requests are rejected with ErrInvalidArgument):
+	// a batch is applied atomically under the view mutex and one worker
+	// slot, so an unbounded client batch could monopolize both. Default
+	// 512.
+	MaxBatchSteps int
+	// Shards is the number of hash shards the view table is split across;
+	// lifecycle and lookup operations on views in distinct shards never
+	// contend. Default 16.
+	Shards int
 	// IngestWorkers bounds how many views may execute Advance
 	// simultaneously (<= 0 means GOMAXPROCS).
 	IngestWorkers int
@@ -76,8 +148,26 @@ func (c Config) withDefaults() Config {
 	if c.MailboxDepth <= 0 {
 		c.MailboxDepth = 16
 	}
+	if c.HighWater <= 0 {
+		c.HighWater = c.MailboxDepth
+	}
+	if c.IngestBatch <= 0 {
+		c.IngestBatch = 8
+	}
+	if c.MaxBatchSteps <= 0 {
+		c.MaxBatchSteps = 512
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
 	c.IngestWorkers = runner.Workers(c.IngestWorkers)
 	return c
+}
+
+// shard is one slice of the registry's view table, with its own lock.
+type shard struct {
+	mu    sync.RWMutex
+	views map[string]*View
 }
 
 // Registry hosts named views. All methods are safe for concurrent use.
@@ -85,20 +175,30 @@ type Registry struct {
 	cfg Config
 	sem chan struct{} // ingest worker-pool slots, shared by every view
 
-	mu     sync.RWMutex
-	views  map[string]*View
-	closed bool
+	closed atomic.Bool // no new views or uploads once set
+	shards []*shard
 	wg     sync.WaitGroup // running ingest loops
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry(cfg Config) *Registry {
 	cfg = cfg.withDefaults()
-	return &Registry{
-		cfg:   cfg,
-		sem:   make(chan struct{}, cfg.IngestWorkers),
-		views: make(map[string]*View),
+	r := &Registry{
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.IngestWorkers),
+		shards: make([]*shard, cfg.Shards),
 	}
+	for i := range r.shards {
+		r.shards[i] = &shard{views: make(map[string]*View)}
+	}
+	return r
+}
+
+// shardOf maps a view name to its shard (FNV-1a).
+func (r *Registry) shardOf(name string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return r.shards[h.Sum32()%uint32(len(r.shards))]
 }
 
 // Create opens a new view under the given name and starts its ingest loop.
@@ -107,14 +207,15 @@ func (r *Registry) Create(name string, def incshrink.ViewDef, opts incshrink.Opt
 		return nil, fmt.Errorf("%w: view name must be non-empty", incshrink.ErrInvalidArgument)
 	}
 	// Check admission before incshrink.Open — building a framework is
-	// expensive and a retrying client should not pay it for a 409.
-	r.mu.RLock()
-	closed, dup := r.closed, false
-	_, dup = r.views[name]
-	r.mu.RUnlock()
-	if closed {
+	// expensive and a retrying client should not pay it for a 409. The
+	// authoritative re-check happens in register, under the shard lock.
+	if r.closed.Load() {
 		return nil, ErrClosed
 	}
+	sh := r.shardOf(name)
+	sh.mu.RLock()
+	_, dup := sh.views[name]
+	sh.mu.RUnlock()
 	if dup {
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
@@ -126,37 +227,42 @@ func (r *Registry) Create(name string, def incshrink.ViewDef, opts incshrink.Opt
 }
 
 // register installs a ready DB under name and starts its ingest loop — the
-// shared tail of Create and RestoreAll.
+// shared tail of Create and RestoreAll. The closed check and the map insert
+// are atomic under the shard lock: Close sets the closed flag *before*
+// sweeping the shards under the same locks, so a concurrent register either
+// observes the flag (and rejects) or lands in the map before the sweep
+// reaches its shard (and is drained by Close). No ingest loop can escape
+// both.
 func (r *Registry) register(name string, db *incshrink.DB) (*View, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	// Re-check under the write lock: a concurrent Create or Close may have
-	// won the race while the DB was being built.
-	if r.closed {
+	sh := r.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if r.closed.Load() {
 		return nil, ErrClosed
 	}
-	if _, ok := r.views[name]; ok {
+	if _, ok := sh.views[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	v := &View{
 		name:     name,
 		reg:      r,
 		db:       db,
-		mailbox:  make(chan *advanceReq, r.cfg.MailboxDepth),
+		mailbox:  make(chan *ingestReq, r.cfg.MailboxDepth),
 		loopDone: make(chan struct{}),
 	}
-	r.views[name] = v
+	sh.views[name] = v
 	r.wg.Add(1)
 	go v.ingestLoop(&r.wg)
 	return v, nil
 }
 
-// Get returns the named view.
+// Get returns the named view. Views mid-Drop resolve as not found.
 func (r *Registry) Get(name string) (*View, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	v, ok := r.views[name]
-	if !ok {
+	sh := r.shardOf(name)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	v, ok := sh.views[name]
+	if !ok || v.dropping {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	return v, nil
@@ -164,11 +270,15 @@ func (r *Registry) Get(name string) (*View, error) {
 
 // Names lists the registered views in sorted order.
 func (r *Registry) Names() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.views))
-	for name := range r.views {
-		out = append(out, name)
+	var out []string
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for name, v := range sh.views {
+			if !v.dropping {
+				out = append(out, name)
+			}
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -176,44 +286,61 @@ func (r *Registry) Names() []string {
 
 // Len reports how many views are registered.
 func (r *Registry) Len() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.views)
+	n := 0
+	for _, sh := range r.shards {
+		sh.mu.RLock()
+		for _, v := range sh.views {
+			if !v.dropping {
+				n++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
-// Drop unregisters the named view, stopping its ingest loop. Uploads
-// already admitted to the mailbox are still applied before the loop exits;
-// later Advance calls fail with ErrClosed. A dropped view's checkpoint file
-// is deleted too — DELETE means the tenant is gone, not "gone until the
-// next restart resurrects it".
+// Drop unregisters the named view: its ingest loop drains (uploads and
+// checkpoints already admitted to the mailbox are still applied, in order)
+// and exits, then the view's checkpoint file is deleted — DELETE means the
+// tenant is gone, not "gone until the next restart resurrects it". The name
+// stays reserved (Create returns ErrExists, Get returns ErrNotFound) until
+// the drain and the file removal have both finished, so a checkpoint riding
+// the mailbox is strictly ordered before the delete and a racing re-Create
+// of the same name can never have its fresh checkpoint eaten by the old
+// tenant's teardown. Later Advance calls fail with ErrClosed.
 func (r *Registry) Drop(name string) error {
-	r.mu.Lock()
-	v, ok := r.views[name]
-	if ok {
-		delete(r.views, name)
-	}
-	r.mu.Unlock()
-	if !ok {
+	sh := r.shardOf(name)
+	sh.mu.Lock()
+	v, ok := sh.views[name]
+	if !ok || v.dropping {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
+	v.dropping = true
+	sh.mu.Unlock()
+
 	v.stop()
+	// Wait for the ingest loop to exit: every admitted upload is applied and
+	// every queued checkpoint has written its file before the delete below,
+	// so the delete is the terminal event of the tenant's history.
+	<-v.loopDone
+	var rmErr error
 	if r.cfg.DataDir != "" {
-		// Wait for the ingest loop to exit before deleting the file: a
-		// queued upload (with periodic checkpointing) or a queued explicit
-		// checkpoint would otherwise rewrite the file after the delete and
-		// resurrect the dropped tenant at the next boot. Marking the view
-		// dropped under fileMu closes the remaining path (CheckpointAll
-		// bypasses the mailbox).
-		<-v.loopDone
+		// Marking the view dropped under fileMu closes the remaining write
+		// path (CheckpointAll bypasses the mailbox): once dropped is set and
+		// the file removed, no code path recreates it.
 		v.fileMu.Lock()
 		v.dropped = true
 		err := os.Remove(r.snapPath(name))
 		v.fileMu.Unlock()
 		if err != nil && !errors.Is(err, os.ErrNotExist) {
-			return fmt.Errorf("serve: dropping %q checkpoint: %w", name, err)
+			rmErr = fmt.Errorf("serve: dropping %q checkpoint: %w", name, err)
 		}
 	}
-	return nil
+	sh.mu.Lock()
+	delete(sh.views, name)
+	sh.mu.Unlock()
+	return rmErr
 }
 
 // Close shuts the registry down gracefully: no new views or uploads are
@@ -221,20 +348,21 @@ func (r *Registry) Drop(name string) error {
 // dropped), and Close returns when all ingest loops have exited or the
 // context is cancelled.
 func (r *Registry) Close(ctx context.Context) error {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
-		return nil
-	}
-	r.closed = true
-	views := make([]*View, 0, len(r.views))
-	for _, v := range r.views {
-		views = append(views, v)
-	}
-	r.mu.Unlock()
-
-	for _, v := range views {
-		v.stop()
+	r.closed.Store(true)
+	// Sweep every shard under its lock: any register that won its race
+	// against the flag is in the map by now (the insert and the flag check
+	// are atomic under the same lock), so its loop is stopped and counted
+	// in wg below — no ingest goroutine escapes the drain.
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		views := make([]*View, 0, len(sh.views))
+		for _, v := range sh.views {
+			views = append(views, v)
+		}
+		sh.mu.Unlock()
+		for _, v := range views {
+			v.stop()
+		}
 	}
 	done := make(chan struct{})
 	go func() {
@@ -252,12 +380,16 @@ func (r *Registry) Close(ctx context.Context) error {
 // ServeStats are the serving-layer counters of one view, distinct from the
 // protocol-level incshrink.Stats underneath.
 type ServeStats struct {
-	// Advances counts applied uploads; Rejected counts uploads refused at
-	// admission (full mailbox); Failed counts uploads the DB rejected
-	// (for example block-size violations).
+	// Advances counts applied upload steps; Rejected counts steps refused
+	// at admission (queue past high water); Failed counts requests the DB
+	// rejected (for example block-size violations).
 	Advances int64 `json:"advances"`
 	Rejected int64 `json:"rejected"`
 	Failed   int64 `json:"failed"`
+	// Batches counts engine ingest calls: with mailbox coalescing one
+	// batch applies up to IngestBatch backlogged steps, so
+	// Advances/Batches is the view's achieved amortization factor.
+	Batches int64 `json:"batches"`
 	// Queries counts served Count/CountWhere calls.
 	Queries int64 `json:"queries"`
 	// RowsLeft and RowsRight count ingested records per stream.
@@ -283,18 +415,33 @@ type Status struct {
 type View struct {
 	name     string
 	reg      *Registry
-	mailbox  chan *advanceReq
+	mailbox  chan *ingestReq
 	loopDone chan struct{} // closed when the ingest loop exits
 
+	// dropping marks a view mid-Drop; guarded by its shard's mutex. The
+	// name stays in the shard map (reserving it against re-Create) until
+	// the drain and checkpoint removal finish.
+	dropping bool
+
 	// mu guards db — the bare DB is single-goroutine (see the incshrink
-	// package docs). The ingest loop holds it per Advance; readers hold it
-	// per query, so reads interleave between queued ingest steps.
+	// package docs). The ingest loop holds it per batch; readers hold it
+	// per query, so reads interleave between queued ingest batches.
 	mu sync.Mutex
 	db *incshrink.DB
+
+	// depth is the queued step count (a batch request counts each of its
+	// steps), decremented as the ingest loop pulls requests off the
+	// mailbox; stepNanos is an EWMA of the observed per-step ingest time.
+	// Together they drive the backpressure policy: admission compares
+	// depth against HighWater, and a rejection's retry hint is
+	// depth x stepNanos.
+	depth     atomic.Int32
+	stepNanos atomic.Int64
 
 	advances    atomic.Int64
 	rejected    atomic.Int64
 	failed      atomic.Int64
+	batches     atomic.Int64
 	queries     atomic.Int64
 	rowsL       atomic.Int64
 	rowsR       atomic.Int64
@@ -303,7 +450,7 @@ type View struct {
 
 	// closeMu guards closing and orders mailbox sends against stop()'s
 	// close; it is never held across a DB operation, so admission stays
-	// fast even while an expensive ingest step holds mu.
+	// fast even while an expensive ingest batch holds mu.
 	closeMu sync.Mutex
 	closing bool
 
@@ -315,17 +462,18 @@ type View struct {
 	dropped bool
 }
 
-// advanceReq is one mailbox item: an upload, or (checkpoint=true) a request
-// to write a snapshot. Routing checkpoints through the mailbox gives them
-// the same serialization as uploads — a checkpoint can never tear a step,
-// and it reflects every upload admitted before it.
-type advanceReq struct {
-	left, right []incshrink.Row
-	checkpoint  bool
-	done        chan advanceResult
+// ingestReq is one mailbox item: a run of upload steps (one for a plain
+// Advance, several for an AdvanceBatch), or (checkpoint=true) a request to
+// write a snapshot. Routing checkpoints through the mailbox gives them the
+// same serialization as uploads — a checkpoint can never tear a step, and
+// it reflects every upload admitted before it.
+type ingestReq struct {
+	steps      []incshrink.StepRows
+	checkpoint bool
+	done       chan ingestResult
 }
 
-type advanceResult struct {
+type ingestResult struct {
 	step int
 	path string // checkpoint file, for checkpoint requests
 	err  error
@@ -337,41 +485,145 @@ func (v *View) Name() string { return v.name }
 func (v *View) ingestLoop(wg *sync.WaitGroup) {
 	defer wg.Done()
 	defer close(v.loopDone)
-	cpEvery := v.reg.cfg.CheckpointEvery
+	coalesce := v.reg.cfg.IngestBatch
+	var batch []*ingestReq // reused across iterations
 	for req := range v.mailbox {
+		v.depth.Add(-stepCount(req))
 		if req.checkpoint {
 			path, step, err := v.checkpoint()
-			req.done <- advanceResult{step: step, path: path, err: err}
+			req.done <- ingestResult{step: step, path: path, err: err}
 			continue
 		}
-		// Take the view mutex before a worker-pool slot: a slot is only
-		// ever held during an actual Advance execution, so readers parked
-		// on one view's mutex cannot pin slots and starve other views.
-		v.mu.Lock()
-		v.reg.sem <- struct{}{}
-		err := v.db.Advance(req.left, req.right)
-		step := v.db.Now()
-		<-v.reg.sem
-		v.mu.Unlock()
-		if err != nil {
-			v.failed.Add(1)
-		} else {
-			v.advances.Add(1)
-			v.rowsL.Add(int64(len(req.left)))
-			v.rowsR.Add(int64(len(req.right)))
+		// Coalesce the backlog: drain queued upload requests — without
+		// blocking — until the batch bound is reached or a checkpoint
+		// request surfaces (which must stay ordered after the uploads
+		// admitted before it, so it ends the batch and runs right after).
+		batch = append(batch[:0], req)
+		nsteps := len(req.steps)
+		var ctl *ingestReq
+	drain:
+		for nsteps < coalesce && ctl == nil {
+			select {
+			case next, ok := <-v.mailbox:
+				if !ok {
+					break drain // closed: apply what we have; outer loop ends
+				}
+				v.depth.Add(-stepCount(next))
+				if next.checkpoint {
+					ctl = next
+					break drain
+				}
+				batch = append(batch, next)
+				nsteps += len(next.steps)
+			default:
+				break drain
+			}
 		}
-		req.done <- advanceResult{step: step, err: err}
-		// Periodic durability: checkpoint every cpEvery applied uploads,
-		// after the upload's acknowledgment (so its disk write never sits
-		// in the ack path) but still inside the ingest loop, before the
-		// next mailbox item — no other writer can run first, so the
-		// snapshot is exactly the post-step state. Failures are counted
-		// (and visible in stats) but do not fail any upload.
-		if err == nil && cpEvery > 0 && v.reg.cfg.DataDir != "" &&
-			v.advances.Load()%int64(cpEvery) == 0 {
+		v.applyBatch(batch)
+		if ctl != nil {
+			path, step, err := v.checkpoint()
+			ctl.done <- ingestResult{step: step, path: path, err: err}
+		}
+	}
+}
+
+// stepCount is a request's contribution to the queue depth.
+func stepCount(req *ingestReq) int32 {
+	if req.checkpoint {
+		return 0
+	}
+	return int32(len(req.steps))
+}
+
+// applyBatch applies a coalesced run of upload requests as one AdvanceBatch
+// under a single mutex/worker-slot acquisition, acknowledges each request
+// with the view's logical time after its own last step, and updates the
+// backpressure estimate. If the combined batch is rejected (all-or-nothing
+// validation tripped on some step), the requests are re-applied one by one
+// so the failure lands on the request that caused it and innocent neighbors
+// still ingest.
+func (v *View) applyBatch(reqs []*ingestReq) {
+	total := 0
+	for _, r := range reqs {
+		total += len(r.steps)
+	}
+	steps := reqs[0].steps
+	if len(reqs) > 1 {
+		steps = make([]incshrink.StepRows, 0, total)
+		for _, r := range reqs {
+			steps = append(steps, r.steps...)
+		}
+	}
+
+	start := time.Now()
+	v.mu.Lock()
+	// Take the view mutex before a worker-pool slot: a slot is only ever
+	// held during actual engine execution, so readers parked on one view's
+	// mutex cannot pin slots and starve other views.
+	v.reg.sem <- struct{}{}
+	before := v.db.Now()
+	err := v.db.AdvanceBatch(steps)
+	if err == nil {
+		v.batches.Add(1)
+		s := before
+		for _, r := range reqs {
+			s += len(r.steps)
+			v.ackApplied(r, s)
+		}
+	} else if len(reqs) == 1 {
+		v.failed.Add(1)
+		reqs[0].done <- ingestResult{step: v.db.Now(), err: err}
+	} else {
+		// A poisoned coalesced batch: isolate the offender by applying each
+		// request's own (still all-or-nothing) batch separately.
+		for _, r := range reqs {
+			if rerr := v.db.AdvanceBatch(r.steps); rerr != nil {
+				v.failed.Add(1)
+				r.done <- ingestResult{step: v.db.Now(), err: rerr}
+			} else {
+				v.batches.Add(1)
+				v.ackApplied(r, v.db.Now())
+			}
+		}
+	}
+	applied := v.db.Now() - before
+	<-v.reg.sem
+	v.mu.Unlock()
+
+	if applied > 0 {
+		per := time.Since(start).Nanoseconds() / int64(applied)
+		old := v.stepNanos.Load()
+		if old == 0 {
+			v.stepNanos.Store(per)
+		} else {
+			v.stepNanos.Store((3*old + per) / 4)
+		}
+	}
+
+	// Periodic durability: checkpoint when the applied-upload counter
+	// crosses a CheckpointEvery boundary, after the acknowledgments (so the
+	// disk write never sits in an ack path) but still inside the ingest
+	// loop, before the next mailbox item — no other writer can run first,
+	// so the snapshot is exactly the post-batch state. Failures are counted
+	// (and visible in stats) but do not fail any upload.
+	cpEvery := int64(v.reg.cfg.CheckpointEvery)
+	if cpEvery > 0 && v.reg.cfg.DataDir != "" && applied > 0 {
+		adv := v.advances.Load()
+		if adv/cpEvery != (adv-int64(applied))/cpEvery {
 			v.checkpoint()
 		}
 	}
+}
+
+// ackApplied updates the serving counters for one applied request and
+// acknowledges it with the view's logical time after its last step.
+func (v *View) ackApplied(r *ingestReq, step int) {
+	v.advances.Add(int64(len(r.steps)))
+	for _, s := range r.steps {
+		v.rowsL.Add(int64(len(s.Left)))
+		v.rowsR.Add(int64(len(s.Right)))
+	}
+	r.done <- ingestResult{step: step}
 }
 
 // stop closes the mailbox exactly once; admitted uploads drain first.
@@ -385,14 +637,20 @@ func (v *View) stop() {
 	close(v.mailbox)
 }
 
-// Advance admits one time step of uploads to the view's ingest queue and
-// waits for it to be applied, returning the view's logical time after the
-// step. A full mailbox fails fast with ErrBusy (the caller should retry or
-// shed load); a dropped view or closed registry fails with ErrClosed. If
-// ctx is cancelled while the upload is queued, Advance returns the context
-// error but the upload is still applied in order.
-func (v *View) Advance(ctx context.Context, left, right []incshrink.Row) (int, error) {
-	req := &advanceReq{left: left, right: right, done: make(chan advanceResult, 1)}
+// enqueue admits a run of steps to the ingest queue and waits for the
+// acknowledgment — the shared body of Advance and AdvanceBatch.
+func (v *View) enqueue(ctx context.Context, steps []incshrink.StepRows) (int, error) {
+	if len(steps) == 0 {
+		return 0, fmt.Errorf("%w: empty batch", incshrink.ErrInvalidArgument)
+	}
+	if len(steps) > v.reg.cfg.MaxBatchSteps {
+		// A batch holds the view mutex and a worker slot for its whole
+		// atomic application; an unbounded one would starve readers and
+		// other views.
+		return 0, fmt.Errorf("%w: batch of %d steps exceeds the %d-step limit",
+			incshrink.ErrInvalidArgument, len(steps), v.reg.cfg.MaxBatchSteps)
+	}
+	req := &ingestReq{steps: steps, done: make(chan ingestResult, 1)}
 	// The send must not race stop()'s close of the mailbox: check and send
 	// under the same lock stop() takes, making stop-then-send impossible.
 	v.closeMu.Lock()
@@ -400,13 +658,25 @@ func (v *View) Advance(ctx context.Context, left, right []incshrink.Row) (int, e
 		v.closeMu.Unlock()
 		return 0, ErrClosed
 	}
+	// Depth-aware admission: reject only once the queued step count has
+	// reached the high-water mark, and tell the caller how deep the queue
+	// was and how long it should take to drain.
+	if d := int(v.depth.Load()); d >= v.reg.cfg.HighWater {
+		v.closeMu.Unlock()
+		v.rejected.Add(int64(len(steps)))
+		return 0, v.busy(d)
+	}
 	select {
 	case v.mailbox <- req:
+		v.depth.Add(int32(len(steps)))
 		v.closeMu.Unlock()
 	default:
+		// The request channel itself is full (possible when control
+		// requests occupy slots): same backpressure signal.
+		d := int(v.depth.Load())
 		v.closeMu.Unlock()
-		v.rejected.Add(1)
-		return 0, ErrBusy
+		v.rejected.Add(int64(len(steps)))
+		return 0, v.busy(d)
 	}
 	select {
 	case res := <-req.done:
@@ -414,6 +684,53 @@ func (v *View) Advance(ctx context.Context, left, right []incshrink.Row) (int, e
 	case <-ctx.Done():
 		return 0, ctx.Err()
 	}
+}
+
+// busy builds the typed admission rejection for the observed depth.
+func (v *View) busy(depth int) error {
+	per := time.Duration(v.stepNanos.Load())
+	if per <= 0 {
+		per = time.Millisecond
+	}
+	hint := time.Duration(depth+1) * per
+	if hint < time.Millisecond {
+		hint = time.Millisecond
+	}
+	return &BusyError{Depth: depth, RetryAfter: hint}
+}
+
+// RetryAfterSeconds converts a BusyError's hint to the integer seconds an
+// HTTP Retry-After header carries (rounded up, at least 1). It returns 1
+// for errors without backpressure context.
+func RetryAfterSeconds(err error) int {
+	var be *BusyError
+	if errors.As(err, &be) && be.RetryAfter > 0 {
+		return int(math.Ceil(be.RetryAfter.Seconds()))
+	}
+	return 1
+}
+
+// Advance admits one time step of uploads to the view's ingest queue and
+// waits for it to be applied, returning the view's logical time after the
+// step. A queue at or past the high-water mark fails fast with a *BusyError
+// wrapping ErrBusy (the caller should retry after the carried hint or shed
+// load); a dropped view or closed registry fails with ErrClosed. If ctx is
+// cancelled while the upload is queued, Advance returns the context error
+// but the upload is still applied in order.
+func (v *View) Advance(ctx context.Context, left, right []incshrink.Row) (int, error) {
+	return v.enqueue(ctx, []incshrink.StepRows{{Left: left, Right: right}})
+}
+
+// AdvanceBatch admits a contiguous run of time steps as one all-or-nothing
+// unit and waits for it, returning the view's logical time after the last
+// step. The batch inherits incshrink.DB.AdvanceBatch's contract: either
+// every step applies, in order, or none do (the error names the offending
+// step). Admission counts the whole batch against the view's queue depth,
+// and batches above Config.MaxBatchSteps are rejected outright (they would
+// hold the view mutex and a worker slot for their whole atomic
+// application).
+func (v *View) AdvanceBatch(ctx context.Context, steps []incshrink.StepRows) (int, error) {
+	return v.enqueue(ctx, steps)
 }
 
 // Count answers the standing view-count query. It is served immediately
@@ -450,6 +767,7 @@ func (v *View) Stats() Status {
 			Advances:         v.advances.Load(),
 			Rejected:         v.rejected.Load(),
 			Failed:           v.failed.Load(),
+			Batches:          v.batches.Load(),
 			Queries:          v.queries.Load(),
 			RowsLeft:         v.rowsL.Load(),
 			RowsRight:        v.rowsR.Load(),

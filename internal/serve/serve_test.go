@@ -132,7 +132,9 @@ func TestAdvanceUploadErrorCounted(t *testing.T) {
 // then overfills the mailbox: the overflow must bounce with ErrBusy while
 // the admitted uploads are applied once the mutex is released.
 func TestMailboxAdmission(t *testing.T) {
-	reg := NewRegistry(Config{MailboxDepth: 2})
+	// IngestBatch 1 disables coalescing so the mailbox occupancy the test
+	// steers is exact.
+	reg := NewRegistry(Config{MailboxDepth: 2, IngestBatch: 1})
 	defer reg.Close(context.Background())
 	v, err := reg.Create("v", testDef(), testOpts(1))
 	if err != nil {
