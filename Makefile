@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-core bench-smoke bench-batch bench-serve recover-smoke fuzz-smoke serve
+.PHONY: check fmt vet build test lint race bench bench-core bench-smoke bench-batch bench-serve recover-smoke fuzz-smoke serve
 
 # check is what CI runs: formatting, static checks, build, tests.
-check: fmt vet build test
+check: lint build test
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -13,6 +13,21 @@ vet:
 
 build:
 	$(GO) build ./...
+
+# lint is the full static-analysis gate (CI runs this): formatting, go vet,
+# and the incshrink-lint determinism analyzers — detclock, rngdraw,
+# maporder, poolsteal (see internal/analysis and DESIGN.md §10). When
+# staticcheck/govulncheck are on PATH they run too; CI installs them at
+# pinned versions, offline checkouts just skip them. Intentional violations
+# are annotated in source as `//lint:allow <analyzer> <reason>` — the
+# reason is mandatory, an allow without one is itself a finding.
+lint: fmt vet
+	$(GO) build -o bin/incshrink-lint ./cmd/incshrink-lint
+	$(GO) vet -vettool=$(abspath bin/incshrink-lint) ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping (CI runs it pinned)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "govulncheck not installed; skipping (CI runs it pinned)"; fi
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// allowEntry is one parsed //lint:allow comment.
+type allowEntry struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	used     bool
+}
+
+type allowSet struct {
+	entries []*allowEntry
+	// byKey indexes entries by "file\x00line\x00analyzer".
+	byKey map[string]*allowEntry
+}
+
+// collectAllows parses every //lint:allow comment in the files. The
+// accepted form is
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// attached to the offending line either as a trailing comment or on the
+// line immediately above.
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	s := &allowSet{byKey: map[string]*allowEntry{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				// Cut any trailing analysistest want-expectation so
+				// fixtures can assert on malformed allow comments.
+				if i := strings.Index(text, "// want"); i >= 0 {
+					text = text[:i]
+				}
+				fields := strings.Fields(text)
+				e := &allowEntry{pos: c.Pos()}
+				if len(fields) > 0 {
+					e.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					e.reason = strings.Join(fields[1:], " ")
+				}
+				p := fset.Position(c.Pos())
+				e.file, e.line = p.Filename, p.Line
+				s.entries = append(s.entries, e)
+				s.byKey[allowKey(e.file, e.line, e.analyzer)] = e
+			}
+		}
+	}
+	return s
+}
+
+func allowKey(file string, line int, analyzer string) string {
+	return file + "\x00" + strconv.Itoa(line) + "\x00" + analyzer
+}
+
+// suppresses reports whether d is covered by an allow comment on its line
+// or the line directly above, marking the entry used. Entries with a
+// missing reason never suppress — the escape hatch only opens when the
+// reason is written down.
+func (s *allowSet) suppresses(fset *token.FileSet, d Diagnostic) bool {
+	if !d.Pos.IsValid() {
+		return false
+	}
+	p := fset.Position(d.Pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		if e, ok := s.byKey[allowKey(p.Filename, line, d.Analyzer)]; ok && e.reason != "" {
+			e.used = true
+			return true
+		}
+	}
+	return false
+}

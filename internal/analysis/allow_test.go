@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"incshrink/internal/analysis"
+	"incshrink/internal/analysis/analysistest"
+)
+
+// The escape-hatch misuse checks (missing reason, unknown analyzer) ride
+// in the detclock and rngdraw fixtures; this covers the optional
+// unused-allow mode.
+func TestUnusedAllowReported(t *testing.T) {
+	analysistest.RunOpts(t, analysis.Options{ReportUnusedAllows: true},
+		analysis.DetClock, "incshrink/internal/unusedallow")
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"incshrink/internal/analysis"
+	"incshrink/internal/analysis/analysistest"
+)
+
+func TestDetClock(t *testing.T) {
+	analysistest.Run(t, analysis.DetClock, "incshrink/internal/core")
+}
+
+// Binaries and examples are excluded by default: timing output is their
+// job.
+func TestDetClockSkipsBinaries(t *testing.T) {
+	analysistest.Run(t, analysis.DetClock, "incshrink/cmd/bench")
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose body does order-sensitive work:
+// appending anything beyond the bare key to a slice that outlives the
+// loop, concatenating into a string, accumulating floats, or feeding a
+// writer/encoder/hasher. Go randomizes map iteration order, so each of
+// these silently breaks byte-identical goldens, snapshots, and
+// cross-party transcripts. The blessed pattern — collect the keys, sort,
+// then range over the slice — is recognized and never flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid order-sensitive work (append of non-keys, string/float accumulation, " +
+		"encode/hash/write calls) inside range-over-map; sort the keys first",
+	Run: runMapOrder,
+}
+
+// sinkFuncNames are call names that emit bytes whose order the caller
+// observes. Matching is by name across packages: the analyzer prefers a
+// rare false positive (annotate it) over missing a golden-breaker.
+var sinkFuncNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Encode": true, "Marshal": true, "MarshalBinary": true,
+	"Sum": true, "Sum32": true, "Sum64": true, "Hash": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	if !inModule(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			m := &mapLoop{pass: pass, rng: rng, keyObj: identObj(pass, rng.Key)}
+			if sink := m.findSink(); sink != "" {
+				pass.Reportf(rng.For,
+					"order-sensitive %s inside range over map (iteration order is random); collect and sort the keys first",
+					sink)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type mapLoop struct {
+	pass   *Pass
+	rng    *ast.RangeStmt
+	keyObj types.Object
+	sink   string
+}
+
+// findSink scans the loop body for the first order-sensitive action and
+// describes it, or returns "".
+func (m *mapLoop) findSink() string {
+	ast.Inspect(m.rng.Body, func(n ast.Node) bool {
+		if m.sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n == m.rng {
+				return true
+			}
+			// A nested map-range gets its own report; don't
+			// double-charge the outer loop for its body. Nested
+			// slice/channel ranges still execute in outer-map order,
+			// so keep scanning those.
+			if t := m.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			m.classifyAssign(n)
+		case *ast.CallExpr:
+			m.classifyCall(n)
+		}
+		return true
+	})
+	return m.sink
+}
+
+func (m *mapLoop) found(s string) {
+	if m.sink == "" {
+		m.sink = s
+	}
+}
+
+// loopLocal reports whether obj is declared inside the loop body; sinks
+// into per-iteration locals are order-safe on their own (whatever makes
+// them outlive the iteration will be flagged at that sink instead).
+func (m *mapLoop) loopLocal(obj types.Object) bool {
+	return obj.Pos() >= m.rng.Body.Pos() && obj.Pos() <= m.rng.Body.End()
+}
+
+// classifyAssign detects order-sensitive accumulation into variables that
+// outlive the loop.
+func (m *mapLoop) classifyAssign(as *ast.AssignStmt) {
+	// s += expr on strings or floats: neither concatenation nor float
+	// addition commutes, so the result depends on iteration order.
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 {
+		if lhsObj := identObj(m.pass, as.Lhs[0]); lhsObj != nil && !m.loopLocal(lhsObj) {
+			switch t := m.pass.TypesInfo.TypeOf(as.Lhs[0]); {
+			case t == nil:
+			case isBasicKind(t, types.IsString):
+				m.found("string concatenation (+=)")
+			case isBasicKind(t, types.IsFloat):
+				m.found("float accumulation (+=, non-associative rounding)")
+			}
+		}
+	}
+	// xs = append(xs, ...): appending anything but the bare key bakes
+	// iteration order into a slice that outlives the loop. Appending just
+	// the key is the sorted-iteration prelude and stays legal.
+	for _, rhs := range as.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(m.pass, call) {
+			continue
+		}
+		if dst := identObj(m.pass, call.Args[0]); dst != nil && m.loopLocal(dst) {
+			continue
+		}
+		if len(call.Args) == 2 && !call.Ellipsis.IsValid() {
+			if obj := identObj(m.pass, call.Args[1]); obj != nil && obj == m.keyObj {
+				continue // append(keys, k): key collection for sorting
+			}
+		}
+		m.found("append of a non-key value")
+	}
+}
+
+// classifyCall detects writer/encoder/hasher calls, which serialize the
+// map in iteration order.
+func (m *mapLoop) classifyCall(call *ast.CallExpr) {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		// Any method on the snapshot codec's Encoder is a byte sink by
+		// construction, whatever it is called.
+		if t := m.pass.TypesInfo.TypeOf(fun.X); t != nil {
+			if pkgPath, typeName, ok := namedTypePath(t); ok &&
+				typeName == "Encoder" && isSnapshotPath(pkgPath) {
+				m.found("snapshot encoding (Encoder." + name + ")")
+				return
+			}
+		}
+	case *ast.Ident:
+		name = fun.Name
+	default:
+		return
+	}
+	if sinkFuncNames[name] {
+		m.found("call to " + name)
+	}
+}
+
+func isSnapshotPath(path string) bool {
+	const suffix = "/internal/snapshot"
+	return path == ModulePath+suffix ||
+		(len(path) > len(suffix) && path[len(path)-len(suffix):] == suffix)
+}
+
+func identObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+func isBasicKind(t types.Type, info types.BasicInfo) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&info != 0
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

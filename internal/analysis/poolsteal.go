@@ -1,0 +1,491 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// PoolSteal is a flow-sensitive check on the sync.Pool-backed arenas: a
+// value borrowed from a free list (oblivious.GetBuffer, sync.Pool.Get)
+// must be released on every path out of the scope that borrowed it, and
+// must never be touched again after Release/Put — a retained pooled
+// buffer is aliased by the next borrower, which corrupts obliviously
+// maintained state in ways no golden test localizes.
+//
+// The analysis is intraprocedural and deliberately conservative about
+// aliasing: a tracked value that escapes (returned, stored into a
+// field/slice/map/channel, captured by a closure, appended) transfers
+// ownership and stops being tracked; passing it as a plain call argument
+// is the repo's borrow convention and keeps tracking alive.
+var PoolSteal = &Analyzer{
+	Name: "poolsteal",
+	Doc: "pooled arena values (oblivious.GetBuffer, sync.Pool.Get) must be released on " +
+		"every path and never used after Release/Put",
+	Run: runPoolSteal,
+}
+
+func runPoolSteal(pass *Pass) error {
+	if !inModule(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, s := range list {
+				if obj, kind, ok := acquireStmt(pass, s); ok {
+					tr := &poolTracker{pass: pass, obj: obj, kind: kind, acquire: s.Pos()}
+					st, terminated := tr.stmts(list[i+1:], psHeld)
+					if !terminated {
+						tr.leakAtEnd(st)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// acquireStmt matches `x := <acquire>` / `x = <acquire>` where <acquire>
+// is a free-list borrow, optionally through a type assertion.
+func acquireStmt(pass *Pass, s ast.Stmt) (types.Object, string, bool) {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, "", false
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, "", false
+	}
+	kind, ok := acquireExpr(pass, as.Rhs[0])
+	if !ok {
+		return nil, "", false
+	}
+	obj := identObj(pass, id)
+	if obj == nil {
+		return nil, "", false
+	}
+	return obj, kind, true
+}
+
+func acquireExpr(pass *Pass, e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok && ta.Type != nil {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Get" && len(call.Args) == 0 {
+			if t := pass.TypesInfo.TypeOf(fun.X); t != nil {
+				if pkgPath, name, ok := namedTypePath(t); ok && pkgPath == "sync" && name == "Pool" {
+					return "sync.Pool.Get", true
+				}
+			}
+		}
+		if fn := pkgFunc(pass.TypesInfo.Uses[fun.Sel]); fn != nil && isArenaAcquire(fn) {
+			return "oblivious.GetBuffer", true
+		}
+	case *ast.Ident:
+		if fn := pkgFunc(pass.TypesInfo.Uses[fun]); fn != nil && isArenaAcquire(fn) {
+			return "oblivious.GetBuffer", true
+		}
+	}
+	return "", false
+}
+
+func isArenaAcquire(fn *types.Func) bool {
+	return fn.Name() == "GetBuffer" && strings.HasSuffix(fn.Pkg().Path(), "/internal/oblivious")
+}
+
+// pstate is the tracker's abstract state for the borrowed value.
+type pstate int
+
+const (
+	psHeld     pstate = iota // borrowed, not yet released
+	psMaybe                  // released on some but not all paths here
+	psReleased               // definitely released
+	psStop                   // escaped, deferred, or already reported
+)
+
+type poolTracker struct {
+	pass    *Pass
+	obj     types.Object
+	kind    string
+	acquire token.Pos
+}
+
+func (tr *poolTracker) name() string { return tr.obj.Name() }
+
+func (tr *poolTracker) leakAtEnd(st pstate) {
+	switch st {
+	case psHeld:
+		tr.pass.Reportf(tr.acquire, "%s %q is never released (borrowed from %s; add Release/Put or defer it)",
+			tr.kind, tr.name(), tr.kind)
+	case psMaybe:
+		tr.pass.Reportf(tr.acquire, "%s %q is not released on every path out of its scope", tr.kind, tr.name())
+	}
+}
+
+// stmts runs the state machine over a statement list. terminated reports
+// that every path through the list ends in return/branch, so the caller's
+// following statements are unreachable from here.
+func (tr *poolTracker) stmts(list []ast.Stmt, st pstate) (pstate, bool) {
+	for _, s := range list {
+		var terminated bool
+		st, terminated = tr.stmt(s, st)
+		if terminated || st == psStop {
+			return st, terminated
+		}
+	}
+	return st, false
+}
+
+func (tr *poolTracker) stmt(s ast.Stmt, st pstate) (pstate, bool) {
+	switch s := s.(type) {
+	case nil:
+		return st, false
+
+	case *ast.ExprStmt:
+		if tr.isRelease(s.X) {
+			return tr.release(s.X.Pos(), st), false
+		}
+		return tr.scanRefs(s, st), false
+
+	case *ast.DeferStmt:
+		if tr.isRelease(s.Call) {
+			if st == psReleased {
+				tr.pass.Reportf(s.Call.Pos(), "%s %q deferred for release after it was already released", tr.kind, tr.name())
+				return psStop, false
+			}
+			// A deferred release covers every remaining path; later
+			// uses stay legal, so tracking can stop here.
+			return psStop, false
+		}
+		return tr.scanRefs(s, st), false
+
+	case *ast.AssignStmt:
+		return tr.assign(s, st), false
+
+	case *ast.ReturnStmt:
+		st = tr.scanRefs(s, st)
+		line := tr.pass.Fset.Position(s.Pos()).Line
+		switch st {
+		case psHeld:
+			tr.pass.Reportf(tr.acquire, "%s %q is not released on the path returning at line %d", tr.kind, tr.name(), line)
+		case psMaybe:
+			tr.pass.Reportf(tr.acquire, "%s %q is not released on every path (still unreleased at the return on line %d)", tr.kind, tr.name(), line)
+		}
+		return psStop, true
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave this list; the surrounding loop's
+		// merge handles the state.
+		return st, true
+
+	case *ast.BlockStmt:
+		return tr.stmts(s.List, st)
+
+	case *ast.LabeledStmt:
+		return tr.stmt(s.Stmt, st)
+
+	case *ast.IfStmt:
+		if st = tr.scanRefsOf(st, s.Init, s.Cond); st == psStop {
+			return st, false
+		}
+		thenSt, thenTerm := tr.stmts(s.Body.List, st)
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = tr.stmt(s.Else, st)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return merge(thenSt, elseSt), false
+		}
+
+	case *ast.ForStmt:
+		if st = tr.scanRefsOf(st, s.Init, s.Cond); st == psStop {
+			return st, false
+		}
+		if s.Post != nil {
+			if st = tr.scanRefs(s.Post, st); st == psStop {
+				return st, false
+			}
+		}
+		bodySt, _ := tr.stmts(s.Body.List, st)
+		return merge(st, bodySt), false
+
+	case *ast.RangeStmt:
+		if st = tr.scanRefsOf(st, nil, s.X); st == psStop {
+			return st, false
+		}
+		bodySt, _ := tr.stmts(s.Body.List, st)
+		return merge(st, bodySt), false
+
+	case *ast.SwitchStmt:
+		return tr.switchLike(st, s.Init, s.Tag, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		return tr.switchLike(st, s.Init, nil, s.Body)
+
+	case *ast.SelectStmt:
+		return tr.switchLike(st, nil, nil, s.Body)
+
+	default:
+		// go stmt, send, incdec, decl, ...: reference scan covers the
+		// escape and use-after-release cases.
+		return tr.scanRefs(s, st), false
+	}
+}
+
+// switchLike merges all case bodies (plus the fallthrough-free implicit
+// default when none is present).
+func (tr *poolTracker) switchLike(st pstate, init ast.Stmt, tag ast.Expr, body *ast.BlockStmt) (pstate, bool) {
+	if st = tr.scanRefsOf(st, init, tag); st == psStop {
+		return st, false
+	}
+	hasDefault := false
+	merged := pstate(-1)
+	allTerm := true
+	for _, c := range body.List {
+		var caseBody []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			st2 := tr.scanRefsOf(st, nil, c.List...)
+			if st2 == psStop {
+				return st2, false
+			}
+			caseBody = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else if st2 := tr.scanRefs(c.Comm, st); st2 == psStop {
+				return st2, false
+			}
+			caseBody = c.Body
+		}
+		cSt, cTerm := tr.stmts(caseBody, st)
+		if cTerm {
+			continue
+		}
+		allTerm = false
+		if merged < 0 {
+			merged = cSt
+		} else {
+			merged = merge(merged, cSt)
+		}
+	}
+	if !hasDefault {
+		allTerm = false
+		if merged < 0 {
+			merged = st
+		} else {
+			merged = merge(merged, st)
+		}
+	}
+	if allTerm && len(body.List) > 0 {
+		return st, true
+	}
+	if merged < 0 {
+		merged = st
+	}
+	return merged, false
+}
+
+func merge(a, b pstate) pstate {
+	if a == psStop || b == psStop {
+		return psStop
+	}
+	if a == b {
+		return a
+	}
+	return psMaybe
+}
+
+// release applies a Release/Put of the tracked value.
+func (tr *poolTracker) release(pos token.Pos, st pstate) pstate {
+	if st == psReleased {
+		tr.pass.Reportf(pos, "%s %q released twice (second Release/Put hands the arena a buffer another borrower may already hold)", tr.kind, tr.name())
+		return psStop
+	}
+	return psReleased
+}
+
+// isRelease matches `x.Release()` and `<anything>.Put(x)`.
+func (tr *poolTracker) isRelease(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Release":
+		return len(call.Args) == 0 && identObj(tr.pass, sel.X) == tr.obj
+	case "Put":
+		return len(call.Args) == 1 && identObj(tr.pass, call.Args[0]) == tr.obj
+	}
+	return false
+}
+
+// scanRefsOf scans an optional init statement and expressions.
+func (tr *poolTracker) scanRefsOf(st pstate, init ast.Stmt, exprs ...ast.Expr) pstate {
+	if init != nil {
+		if st = tr.scanRefs(init, st); st == psStop {
+			return st
+		}
+	}
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if st = tr.scanRefs(e, st); st == psStop {
+			return st
+		}
+	}
+	return st
+}
+
+// refKind classifies how a node refers to the tracked object.
+type refKind int
+
+const (
+	refNone refKind = iota
+	refUse          // read/borrow: method call, plain argument, deref
+	refEscape
+)
+
+// scanRefs inspects any node for references to the tracked value and
+// applies the use-after-release and escape rules.
+func (tr *poolTracker) scanRefs(n ast.Node, st pstate) pstate {
+	kind, pos := tr.classifyRefs(n)
+	if kind == refNone {
+		return st
+	}
+	if st == psReleased {
+		tr.pass.Reportf(pos, "%s %q used after release (the arena may already have handed it to another borrower)", tr.kind, tr.name())
+		return psStop
+	}
+	if kind == refEscape {
+		return psStop // ownership transferred; stop tracking silently
+	}
+	return st
+}
+
+// classifyRefs walks n, classifying every identifier resolving to the
+// tracked object by its syntactic context. Escape beats use.
+func (tr *poolTracker) classifyRefs(n ast.Node) (refKind, token.Pos) {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	kind, pos := refNone, token.NoPos
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[m] = stack[len(stack)-1]
+		}
+		stack = append(stack, m)
+		id, ok := m.(*ast.Ident)
+		if !ok || identObj(tr.pass, id) != tr.obj {
+			return true
+		}
+		k := tr.classifyOne(id, parents)
+		if kind == refNone || (k == refEscape && kind != refEscape) {
+			kind, pos = k, id.Pos()
+		}
+		return true
+	})
+	return kind, pos
+}
+
+func (tr *poolTracker) classifyOne(id *ast.Ident, parents map[ast.Node]ast.Node) refKind {
+	// A closure capturing the value may run at any time: escape.
+	for p := parents[ast.Node(id)]; p != nil; p = parents[p] {
+		if _, ok := p.(*ast.FuncLit); ok {
+			return refEscape
+		}
+	}
+	switch p := parents[ast.Node(id)].(type) {
+	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr, *ast.SliceExpr:
+		return refUse
+	case *ast.CallExpr:
+		if isBuiltinAppend(tr.pass, p) {
+			return refEscape // append retains the value
+		}
+		return refUse // plain argument: borrow convention
+	case *ast.ReturnStmt:
+		return refEscape
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if ast.Unparen(l) == ast.Expr(id) {
+				return refUse // reassignment handled in assign()
+			}
+		}
+		return refEscape // aliased into another variable
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return refEscape
+		}
+		return refUse
+	case *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+		return refEscape
+	default:
+		return refUse
+	}
+}
+
+// assign handles statements that may reassign the tracked variable or
+// alias it on the right-hand side.
+func (tr *poolTracker) assign(as *ast.AssignStmt, st pstate) pstate {
+	reassigned := false
+	for _, l := range as.Lhs {
+		if identObj(tr.pass, l) == tr.obj {
+			reassigned = true
+		}
+	}
+	if !reassigned {
+		return tr.scanRefs(as, st)
+	}
+	// x = <expr>: the handle is overwritten. Overwriting a held buffer
+	// whose RHS does not thread x through (x = f(x)) drops the only
+	// reference — a leak.
+	rhsRefs := false
+	for _, r := range as.Rhs {
+		if k, _ := tr.classifyRefs(r); k != refNone {
+			rhsRefs = true
+		}
+	}
+	if st == psHeld && !rhsRefs {
+		tr.pass.Reportf(tr.acquire, "%s %q overwritten at line %d while still unreleased (leaked)",
+			tr.kind, tr.name(), tr.pass.Fset.Position(as.Pos()).Line)
+	}
+	return psStop
+}

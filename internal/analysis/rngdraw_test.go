@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"incshrink/internal/analysis"
+	"incshrink/internal/analysis/analysistest"
+)
+
+func TestRNGDraw(t *testing.T) {
+	analysistest.Run(t, analysis.RNGDraw, "incshrink/internal/mpc")
+}
+
+// internal/serve is not snapshot-covered: its workload randomness is
+// input data, regenerated from derived seeds, never resumed mid-stream.
+func TestRNGDrawSkipsUncoveredPackages(t *testing.T) {
+	analysistest.Run(t, analysis.RNGDraw, "incshrink/internal/serve")
+}

@@ -1,0 +1,6 @@
+// Package fmt is a hermetic analysistest stub for the maporder fixtures.
+package fmt
+
+func Fprintf(w any, format string, a ...any) (int, error) { return 0, nil }
+func Sprintf(format string, a ...any) string              { return "" }
+func Println(a ...any) (int, error)                       { return 0, nil }

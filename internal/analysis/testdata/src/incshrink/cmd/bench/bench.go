@@ -1,0 +1,11 @@
+// Package bench is a detclock fixture under cmd/: binaries may time
+// things, so nothing here is a finding.
+package bench
+
+import "time"
+
+func Timed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -1,0 +1,30 @@
+// Package core is a detclock fixture standing in for a deterministic
+// engine package.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func violations() {
+	_ = time.Now()       // want `wall-clock read time.Now`
+	t := time.Unix(0, 0) // constructors and conversions stay legal
+	_ = time.Since(t)    // want `wall-clock read time.Since`
+	time.Sleep(1)        // want `wall-clock read time.Sleep`
+	_ = rand.Intn(4)     // want `global math/rand.Intn draw`
+	_ = rand.Float64()   // want `global math/rand.Float64 draw`
+	f := time.Now        // want `wall-clock read time.Now`
+	_ = f
+	_ = rand.New(rand.NewSource(1)).Intn(3) // explicit seeded source: detclock-legal
+}
+
+func allowedSites() {
+	_ = time.Now() //lint:allow detclock fixture: simulated latency annotation, not engine state
+	//lint:allow detclock fixture: next line decorates a log record only
+	_ = time.Now()
+	_ = time.Now() //lint:allow detclock // want `needs a reason` `wall-clock read time.Now`
+}
+
+//lint:allow nosuchanalyzer some reason // want `unknown analyzer`
+func misuse() {}

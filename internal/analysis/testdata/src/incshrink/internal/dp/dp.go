@@ -1,0 +1,15 @@
+// Package dp is a hermetic analysistest stub of incshrink/internal/dp:
+// the draw-counting wrapper the rngdraw fixtures wrap sources in.
+package dp
+
+type RNG interface {
+	Uint32() uint32
+}
+
+type CountingRNG struct {
+	src RNG
+}
+
+func NewCountingRNG(src RNG) *CountingRNG { return &CountingRNG{src: src} }
+
+func (c *CountingRNG) Uint32() uint32 { return c.src.Uint32() }

@@ -1,0 +1,116 @@
+// Package maporder is a maporder fixture: order-sensitive and order-safe
+// bodies under range-over-map.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"incshrink/internal/snapshot"
+)
+
+func appendNonKey(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `append of a non-key value`
+		out = append(out, v)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m { // key collection for sorting: legal
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func stringConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want `string concatenation`
+		s += k
+	}
+	return s
+}
+
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m { // integer addition commutes: legal
+		n += v
+	}
+	return n
+}
+
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `float accumulation`
+		sum += v
+	}
+	return sum
+}
+
+func encode(e *snapshot.Encoder, m map[uint32]int) {
+	for k := range m { // want `snapshot encoding \(Encoder.U32\)`
+		e.U32(k)
+	}
+}
+
+func printAll(w any, m map[string]int) {
+	for k, v := range m { // want `call to Fprintf`
+		fmt.Fprintf(w, "%s=%d", k, v)
+	}
+}
+
+func nested(m map[string][]int) []int {
+	var out []int
+	for _, vs := range m { // want `append of a non-key value`
+		for _, v := range vs {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func nestedMap(m map[string]map[string]int) []int {
+	var out []int
+	// The inner map-range is charged separately, not to the outer loop.
+	for _, inner := range m {
+		for _, v := range inner { // want `append of a non-key value`
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func keyedWrites(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m { // keyed writes commute: legal
+		out[k] = v * 2
+	}
+	return out
+}
+
+func loopLocal(m map[string]int) map[string]string {
+	out := map[string]string{}
+	for k, v := range m { // per-iteration locals are order-safe
+		s := fmt.Sprintf("%d", v)
+		parts := []string{}
+		parts = append(parts, s)
+		out[k] = parts[0]
+	}
+	return out
+}
+
+func allowedSite(m map[string]int) []int {
+	var out []int
+	//lint:allow maporder fixture: caller sorts the result before any output
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

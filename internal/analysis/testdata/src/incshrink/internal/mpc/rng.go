@@ -1,0 +1,24 @@
+// Package mpc is an rngdraw fixture standing in for a snapshot-covered
+// protocol package.
+package mpc
+
+import (
+	"math/rand"
+
+	"incshrink/internal/dp"
+)
+
+func sources(seed int64) {
+	_ = rand.New(rand.NewSource(seed))                    // want `uncounted RNG: math/rand.New`
+	_ = dp.NewCountingRNG(rand.New(rand.NewSource(seed))) // wrapped at construction: legal
+
+	// Binding the raw source to a name first leaves an uncounted handle
+	// alive, even though it is wrapped one line later.
+	src := rand.NewSource(seed) // want `uncounted RNG: math/rand.NewSource`
+	_ = dp.NewCountingRNG(rand.New(src))
+}
+
+func allowedSite(seed int64) {
+	//lint:allow rngdraw fixture: one-shot transcript simulation, never resumed from a snapshot
+	_ = rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,14 @@
+// Package oblivious is a hermetic analysistest stub of
+// incshrink/internal/oblivious: the pooled arena surface the poolsteal
+// fixtures borrow from.
+package oblivious
+
+type Buffer struct {
+	n int
+}
+
+func GetBuffer(arity int) *Buffer { return &Buffer{} }
+
+func (b *Buffer) Release()       {}
+func (b *Buffer) Len() int       { return b.n }
+func (b *Buffer) Append(v int64) {}

@@ -1,0 +1,102 @@
+// Package poolsteal is a poolsteal fixture: arena borrows that leak,
+// escape, or are used after release.
+package poolsteal
+
+import (
+	"sync"
+
+	"incshrink/internal/oblivious"
+)
+
+func fillBuf(b *oblivious.Buffer) {}
+
+func fillInts(s *[]int32) {}
+
+func leak() {
+	b := oblivious.GetBuffer(2) // want `never released`
+	fillBuf(b)
+}
+
+func earlyReturnLeak(cond bool) int {
+	b := oblivious.GetBuffer(2) // want `not released on the path returning at line \d+`
+	if cond {
+		return 0
+	}
+	b.Release()
+	return 1
+}
+
+func maybePath(cond bool) {
+	b := oblivious.GetBuffer(2) // want `not released on every path`
+	if cond {
+		b.Release()
+	}
+}
+
+func useAfterRelease() int {
+	b := oblivious.GetBuffer(2)
+	b.Release()
+	return b.Len() // want `used after release`
+}
+
+func doubleRelease() {
+	b := oblivious.GetBuffer(2)
+	b.Release()
+	b.Release() // want `released twice`
+}
+
+func deferred(cond bool) int {
+	b := oblivious.GetBuffer(2)
+	defer b.Release()
+	if cond {
+		return 0
+	}
+	return b.Len()
+}
+
+func transfer() *oblivious.Buffer {
+	b := oblivious.GetBuffer(2)
+	return b // ownership moves to the caller: legal
+}
+
+func borrowThenRelease() {
+	b := oblivious.GetBuffer(2)
+	fillBuf(b) // plain argument: a borrow, not an escape
+	b.Release()
+}
+
+func bothBranchesRelease(cond bool) {
+	b := oblivious.GetBuffer(2)
+	if cond {
+		b.Release()
+	} else {
+		b.Release()
+	}
+}
+
+func releaseInsideEarlyReturn(cond bool) int {
+	b := oblivious.GetBuffer(2)
+	if cond {
+		b.Release()
+		return 0
+	}
+	b.Release()
+	return 1
+}
+
+func poolLeak(p *sync.Pool) {
+	s := p.Get().(*[]int32) // want `never released`
+	fillInts(s)
+}
+
+func poolPut(p *sync.Pool) {
+	s := p.Get().(*[]int32)
+	fillInts(s)
+	p.Put(s)
+}
+
+func allowedSite() {
+	//lint:allow poolsteal fixture: handed to a registry that releases it at shutdown
+	b := oblivious.GetBuffer(2)
+	fillBuf(b)
+}

@@ -1,0 +1,10 @@
+// Package serve is an rngdraw fixture for an out-of-scope package:
+// load-generator randomness is input data, not snapshot-resumable engine
+// state, so nothing here is a finding.
+package serve
+
+import "math/rand"
+
+func workloadRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

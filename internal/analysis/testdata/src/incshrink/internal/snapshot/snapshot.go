@@ -1,0 +1,9 @@
+// Package snapshot is a hermetic analysistest stub of
+// incshrink/internal/snapshot: the codec Encoder the maporder fixtures
+// feed from inside map ranges.
+package snapshot
+
+type Encoder struct{}
+
+func (e *Encoder) U32(v uint32) {}
+func (e *Encoder) I64(v int64)  {}

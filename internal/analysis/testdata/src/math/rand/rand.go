@@ -1,0 +1,25 @@
+// Package rand is a hermetic analysistest stub of math/rand: enough
+// surface for the detclock and rngdraw fixtures.
+package rand
+
+type Source interface {
+	Int63() int64
+	Seed(seed int64)
+}
+
+type Rand struct{}
+
+func New(src Source) *Rand        { return &Rand{} }
+func NewSource(seed int64) Source { return nil }
+
+func (r *Rand) Intn(n int) int   { return 0 }
+func (r *Rand) Uint32() uint32   { return 0 }
+func (r *Rand) Int63() int64     { return 0 }
+func (r *Rand) Float64() float64 { return 0 }
+
+func Int() int                           { return 0 }
+func Intn(n int) int                     { return 0 }
+func Float64() float64                   { return 0 }
+func Shuffle(n int, swap func(i, j int)) {}
+func Perm(n int) []int                   { return nil }
+func Seed(seed int64)                    {}

@@ -1,0 +1,6 @@
+// Package sort is a hermetic analysistest stub for the maporder fixtures.
+package sort
+
+func Strings(x []string)                    {}
+func Ints(x []int)                          {}
+func Slice(x any, less func(i, j int) bool) {}

@@ -1,0 +1,14 @@
+// Package time is a hermetic analysistest stub of the standard library's
+// time package: just enough surface for the detclock fixtures.
+package time
+
+type Time struct{}
+
+type Duration int64
+
+func Now() Time                    { return Time{} }
+func Since(t Time) Duration        { return 0 }
+func Until(t Time) Duration        { return 0 }
+func Sleep(d Duration)             {}
+func Unix(sec, nsec int64) Time    { return Time{} }
+func (t Time) Sub(u Time) Duration { return 0 }

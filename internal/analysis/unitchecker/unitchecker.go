@@ -1,0 +1,238 @@
+// Package unitchecker makes the analysis suite runnable under
+// `go vet -vettool=...`: cmd/go drives the tool once per compilation unit,
+// handing it a JSON "vet config" naming the unit's source files and the
+// export data of its dependencies. This mirrors
+// golang.org/x/tools/go/analysis/unitchecker on the standard library only:
+// types come from go/importer reading the gc export data cmd/go already
+// built, so no package loading machinery is needed.
+//
+// The cmd/go handshake has three parts, all implemented here:
+//
+//   - `tool -V=full` prints a version line used for build caching;
+//   - `tool -flags` prints the tool's flags as JSON so cmd/go can accept
+//     them on the `go vet` command line;
+//   - `tool [flags] <file>.cfg` analyzes one unit.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"incshrink/internal/analysis"
+)
+
+// Config is the JSON schema of the vet.cfg file cmd/go writes; field names
+// must match cmd/go's (see cmd/go/internal/work.vetConfig).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// versionFlag implements -V=full, replicating the minimal version protocol
+// cmd/go's tool-ID computation expects: "<name> version devel ... buildID=<hash>".
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() any         { return nil }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s", s)
+	}
+	// The content hash makes the reported build ID change whenever the
+	// binary does, so stale vet caches self-invalidate.
+	progname := os.Args[0]
+	f, err := os.Open(progname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+// RegisterFlags installs the protocol flags (-V, -flags) on the default
+// flag set. Call before flag.Parse.
+func RegisterFlags() {
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	flag.Bool("flags", false, "print flags as JSON and exit (cmd/go handshake)")
+}
+
+// MaybePrintFlags handles the -flags handshake after flag.Parse: cmd/go
+// asks for the tool's flags as a JSON array so it can accept them on the
+// `go vet` command line.
+func MaybePrintFlags() {
+	if f := flag.Lookup("flags"); f == nil || f.Value.String() != "true" {
+		return
+	}
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		switch f.Name {
+		case "V", "flags":
+			return
+		}
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		out = append(out, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+	os.Exit(0)
+}
+
+// Run analyzes the compilation unit described by cfgPath and exits the
+// process: 0 for a clean unit, 2 when findings were reported (printed to
+// stderr as file:line:col: [analyzer] message).
+func Run(cfgPath string, analyzers []*analysis.Analyzer, opts analysis.Options) {
+	diags, err := runUnit(cfgPath, analyzers, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func runUnit(cfgPath string, analyzers []*analysis.Analyzer, opts analysis.Options) ([]string, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config file %s: %v", cfgPath, err)
+	}
+
+	// We export no analysis facts, but cmd/go caches the (empty) facts
+	// file, so it must exist even for units we skip.
+	writeVetx := func() error {
+		if cfg.VetxOutput != "" {
+			return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+		return nil
+	}
+	if cfg.VetxOnly {
+		// Dependency visited only to produce facts for importers.
+		return nil, writeVetx()
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, writeVetx() // the compiler will report it
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not an import path.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath] // resolve vendoring, etc.
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: normalizeGoVersion(cfg.GoVersion),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, writeVetx()
+		}
+		return nil, err
+	}
+
+	diags := analysis.Run(fset, files, pkg, info, analyzers, opts)
+	out := make([]string, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%s: [%s] %s", fset.Position(d.Pos), d.Analyzer, d.Message))
+	}
+	return out, writeVetx()
+}
+
+// normalizeGoVersion maps cmd/go's version strings onto what go/types
+// accepts ("go1.24"); unknown forms degrade to no version gating.
+func normalizeGoVersion(v string) string {
+	if v == "" {
+		return ""
+	}
+	if !strings.HasPrefix(v, "go") {
+		v = "go" + v
+	}
+	return v
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,6 +1,10 @@
 package mpc
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"incshrink/internal/dp"
+)
 
 // PublicParams are the quantities Theorem 7 assumes publicly available when
 // constructing the simulator of Table 1: the privacy parameter, the owners'
@@ -32,7 +36,7 @@ type PublicParams struct {
 // times, sizes and labels) and the distributional half statistically
 // (uniform share values on both sides).
 func SimulateTimer(pp PublicParams, fetches map[int]int, party PartyID, seed int64) *Transcript {
-	rng := rand.New(rand.NewSource(seed))
+	rng := dp.NewCountingRNG(rand.New(rand.NewSource(seed)))
 	tr := &Transcript{Party: party}
 
 	reshareCounter := func(t int) {
@@ -80,7 +84,7 @@ type ANTOutput struct {
 // Table 1, the simulator additionally emits one random value per update to
 // stand in for the refreshed noisy-threshold share.
 func SimulateANT(pp PublicParams, updates []ANTOutput, party PartyID, seed int64) *Transcript {
-	rng := rand.New(rand.NewSource(seed))
+	rng := dp.NewCountingRNG(rand.New(rand.NewSource(seed)))
 	tr := &Transcript{Party: party}
 
 	random := func(t int, label string) {

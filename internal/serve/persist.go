@@ -158,7 +158,7 @@ func (r *Registry) CheckpointAll() error {
 	var views []*View
 	for _, sh := range r.shards {
 		sh.mu.RLock()
-		for _, v := range sh.views {
+		for _, v := range sh.views { //lint:allow maporder views are sorted by name below before any checkpoint runs
 			if !v.dropping {
 				views = append(views, v)
 			}

@@ -356,7 +356,7 @@ func (r *Registry) Close(ctx context.Context) error {
 	for _, sh := range r.shards {
 		sh.mu.Lock()
 		views := make([]*View, 0, len(sh.views))
-		for _, v := range sh.views {
+		for _, v := range sh.views { //lint:allow maporder shutdown signal only; stop order has no observable effect
 			views = append(views, v)
 		}
 		sh.mu.Unlock()
@@ -555,7 +555,7 @@ func (v *View) applyBatch(reqs []*ingestReq) {
 		}
 	}
 
-	start := time.Now()
+	start := time.Now() //lint:allow detclock feeds the Retry-After EWMA hint; advisory backpressure, never view state
 	v.mu.Lock()
 	// Take the view mutex before a worker-pool slot: a slot is only ever
 	// held during actual engine execution, so readers parked on one view's
@@ -591,7 +591,7 @@ func (v *View) applyBatch(reqs []*ingestReq) {
 	v.mu.Unlock()
 
 	if applied > 0 {
-		per := time.Since(start).Nanoseconds() / int64(applied)
+		per := time.Since(start).Nanoseconds() / int64(applied) //lint:allow detclock feeds the Retry-After EWMA hint; advisory backpressure, never view state
 		old := v.stepNanos.Load()
 		if old == 0 {
 			v.stepNanos.Store(per)
