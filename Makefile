@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test lint race bench bench-core bench-smoke bench-batch bench-serve recover-smoke fuzz-smoke serve
+.PHONY: check fmt vet build test lint race bench bench-core bench-smoke bench-batch bench-serve bench-diff obs-smoke recover-smoke fuzz-smoke serve
 
-# check is what CI runs: formatting, static checks, build, tests.
-check: lint build test
+# check is what CI runs: formatting, static checks, build, tests, and the
+# observability smoke (boot the production wiring, scrape /metrics, assert
+# every layer's families).
+check: lint build test obs-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -69,6 +71,32 @@ bench-batch:
 # ingest-bound and HTTP arms out of measurement noise).
 bench-serve:
 	$(GO) run ./cmd/incshrink-bench -exp serve -views 8 -steps 2000 -batch 8
+
+# bench-diff gates serving/data-plane performance against the committed
+# reports: regenerate fresh reports into a scratch directory and diff them
+# against the checked-in BENCH_*.json — any directional metric (ns/op,
+# latency percentile, throughput) regressing past the threshold fails.
+# Usage: make bench-diff [OLD=BENCH_core.json NEW=BENCH_core.new.json]
+# regenerates and diffs the core report by default; set OLD/NEW to diff any
+# two existing reports without running anything.
+BENCH_DIFF_THRESHOLD ?= 0.25
+bench-diff:
+ifdef OLD
+	$(GO) run ./cmd/incshrink-bench -compare -threshold $(BENCH_DIFF_THRESHOLD) $(OLD) $(NEW)
+else
+	$(GO) run ./cmd/incshrink-bench -exp core -json BENCH_core.new.json
+	$(GO) run ./cmd/incshrink-bench -compare -threshold $(BENCH_DIFF_THRESHOLD) BENCH_core.json BENCH_core.new.json
+	@rm -f BENCH_core.new.json
+endif
+
+# obs-smoke boots the full production observability wiring in-process —
+# metrics registry, trace ring, slog access logs, ops mux — drives a tenant
+# session, and asserts the /metrics scrape contains the serve, core and MPC
+# families, /debug/traces holds the session's spans, and pprof answers only
+# on the ops listener (CI runs this). The goldens-with-obs pin
+# (TestObservedGoldensIdentical) runs with the normal test suite.
+obs-smoke:
+	$(GO) test -count=1 -run 'TestObsSmoke' ./cmd/incshrink-server
 
 # recover-smoke proves crash recovery end to end (CI runs this): snapshot a
 # deployment mid-run, restore it, and verify counts/stats stay identical to

@@ -7,6 +7,7 @@
 //	incshrink-bench -exp table2 -steps 400
 //	incshrink-bench -exp all -steps 1825 -seed 2022 -workers 8
 //	incshrink-bench -exp serve -views 8 -steps 200 -json BENCH_serve.json
+//	incshrink-bench -compare BENCH_core.json BENCH_core.new.json
 //
 // The -steps flag sets the simulated horizon in time steps; 1825 matches the
 // paper's five-year TPC-ds span but any laptop-scale value preserves the
@@ -29,6 +30,11 @@
 // plane (Advance, AdvanceBatch per-step, Count, CountWhere ns/op and
 // allocs/op at the paper-default deployment) and writes BENCH_core.json,
 // including the recorded pre-refactor baseline for comparison.
+//
+// -compare diffs two such reports instead of running anything: every
+// numeric leaf with a directional name (ns/op, latencies, throughputs) is
+// checked for a relative change past -threshold in the bad direction, and
+// any regression exits nonzero (the `make bench-diff` gate).
 package main
 
 import (
@@ -55,8 +61,26 @@ func main() {
 		views   = flag.Int("views", 8, "serve experiment: concurrent views")
 		batch   = flag.Int("batch", 8, "serve experiment: batched-ingestion batch size (compared against per-step)")
 		jsonOut = flag.String("json", "", "serve/core experiments: machine-readable report path (default BENCH_<exp>.json)")
+		compare = flag.Bool("compare", false, "compare two BENCH_*.json reports (old then new as positional args) instead of running; exits nonzero on regression")
+		thresh  = flag.Float64("threshold", 0.15, "with -compare: relative change past which a directional metric counts as a regression")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: incshrink-bench -compare [-threshold 0.15] old.json new.json")
+			os.Exit(2)
+		}
+		regressions, err := runCompare(flag.Arg(0), flag.Arg(1), *thresh, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -35,6 +35,8 @@ func main() {
 	}
 	detclockExclude := flag.String("detclock.exclude", strings.Join(analysis.DetClockExclude, ","),
 		"comma-separated module-relative package prefixes detclock skips")
+	detclockSanction := flag.String("detclock.sanction", strings.Join(analysis.DetClockSanctioned, ","),
+		"comma-separated module-relative package prefixes allowed to read the wall clock (the math/rand ban still applies)")
 	rngdrawPkgs := flag.String("rngdraw.pkgs", encodePkgList(analysis.RNGDrawPackages),
 		"comma-separated module-relative snapshot-covered packages rngdraw polices ('.' is the module root)")
 	tests := flag.Bool("tests", false, "also report findings in _test.go files")
@@ -43,6 +45,7 @@ func main() {
 	unitchecker.MaybePrintFlags()
 
 	analysis.DetClockExclude = splitList(*detclockExclude)
+	analysis.DetClockSanctioned = splitList(*detclockSanction)
 	analysis.RNGDrawPackages = decodePkgList(*rngdrawPkgs)
 
 	var enabled []*analysis.Analyzer

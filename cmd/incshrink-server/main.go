@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	incshrink-server -addr :8080 -mailbox 16 -high-water 12 -ingest-batch 8 \
-//	    -shards 16 -ingest-workers 0 -data /var/lib/incshrink -checkpoint-every 100
+//	incshrink-server -addr :8080 -ops-addr :9090 -mailbox 16 -high-water 12 \
+//	    -ingest-batch 8 -shards 16 -ingest-workers 0 \
+//	    -data /var/lib/incshrink -checkpoint-every 100 -log-level info
 //
 // A curl session against a running server:
 //
@@ -19,13 +20,26 @@
 //	curl localhost:8080/v1/views/sales/stats
 //	curl -X POST localhost:8080/v1/views/sales/snapshot
 //
+// With -ops-addr set, a second private listener serves the operations
+// surface: GET /metrics (Prometheus text format, every layer's families —
+// serve queue/batch/latency metrics, per-view core engine gauges, and the
+// MPC predicted-vs-measured cost accounting), GET /debug/traces (the
+// bounded in-memory span ring as JSON), and /debug/pprof/* (the stdlib
+// profiler). Keep the ops port off the tenant network.
+//
+// Logs are JSON lines on stderr (log/slog); every API request is logged
+// with its trace ID, which is also echoed to the client in X-Trace-Id and
+// attached to the ingest spans the request leaves in /debug/traces.
+//
 // With -data set the server is durable: every view checkpoints to
 // <data>/<name>.snap (periodically, on demand via the snapshot endpoint,
 // and at shutdown), and a restarting server restores every checkpointed
 // view before accepting traffic — the restored state is bit-identical to
 // the moment of the checkpoint, including the DP protocols' randomness
 // positions, so the privacy guarantee over the whole update history is
-// unbroken by the restart.
+// unbroken by the restart. While the restore sweep runs, GET /healthz
+// reports 503; it also degrades to 503 when any view's ingest queue
+// reaches the high-water mark (the same threshold that bounces uploads).
 //
 // SIGINT/SIGTERM triggers graceful shutdown: in-flight requests finish,
 // admitted uploads drain, final checkpoints are written, then the process
@@ -36,19 +50,18 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
-
-	"incshrink/internal/serve"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
+		addr      = flag.String("addr", ":8080", "listen address for the tenant API")
+		opsAddr   = flag.String("ops-addr", "", "listen address for the private ops surface: /metrics, /debug/traces, /debug/pprof (empty = disabled)")
 		mailbox   = flag.Int("mailbox", 16, "per-view ingest queue capacity, in requests")
 		highWater = flag.Int("high-water", 0, "backpressure threshold in queued steps: at or past it uploads get 503 + depth-aware Retry-After (0 = mailbox capacity)")
 		batch     = flag.Int("ingest-batch", 8, "max backlogged steps coalesced into one engine batch (1 disables coalescing)")
@@ -58,78 +71,97 @@ func main() {
 		grace     = flag.Duration("grace", 10*time.Second, "graceful shutdown budget")
 		dataDir   = flag.String("data", "", "data directory for view checkpoints (empty = not durable)")
 		cpEvery   = flag.Int("checkpoint-every", 100, "checkpoint a view every N applied uploads (needs -data; 0 = only explicit/shutdown checkpoints)")
+		traceBuf  = flag.Int("trace-buffer", 4096, "spans kept in the in-memory trace ring served at /debug/traces")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		slog.Error("flags", slog.Any("error", err))
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	cfg := serve.Config{
-		MailboxDepth:  *mailbox,
-		HighWater:     *highWater,
-		IngestBatch:   *batch,
-		MaxBatchSteps: *maxBatch,
-		Shards:        *shards,
-		IngestWorkers: *workers,
+	a, err := buildApp(appConfig{
+		Mailbox:         *mailbox,
+		HighWater:       *highWater,
+		IngestBatch:     *batch,
+		MaxBatchSteps:   *maxBatch,
+		Shards:          *shards,
+		IngestWorkers:   *workers,
+		DataDir:         *dataDir,
+		CheckpointEvery: *cpEvery,
+		TraceBuffer:     *traceBuf,
+		LogLevel:        level,
+	}, os.Stderr)
+	if err != nil {
+		slog.Error("startup", slog.Any("error", err))
+		os.Exit(1)
 	}
-	if *dataDir != "" {
-		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
-			log.Fatalf("creating data directory: %v", err)
-		}
-		cfg.DataDir = *dataDir
-		cfg.CheckpointEvery = *cpEvery
+	log := a.logger
+	if len(a.restored) > 0 {
+		log.Info("restored views", slog.Int("count", len(a.restored)),
+			slog.String("data", *dataDir), slog.Any("views", a.restored))
 	}
-	reg := serve.NewRegistry(cfg)
-	if cfg.DataDir != "" {
-		// Restore-on-boot: every checkpointed view comes back before the
-		// listener opens, bit-identical to its last checkpoint.
-		restored, err := reg.RestoreAll()
-		if err != nil {
-			// Healthy views are already serving; name the broken snapshots
-			// and keep going rather than refusing to start.
-			log.Printf("restore: %v", err)
-		}
-		if len(restored) > 0 {
-			log.Printf("restored %d view(s) from %s: %v", len(restored), cfg.DataDir, restored)
-		}
-	}
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(reg)}
 
-	errc := make(chan error, 1)
+	srv := &http.Server{Addr: *addr, Handler: a.api}
+	errc := make(chan error, 2)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("incshrink-server listening on %s (mailbox=%d, ingest-batch=%d, shards=%d, ingest-workers=%d, data=%q)",
-		*addr, *mailbox, *batch, *shards, *workers, cfg.DataDir)
+
+	var opsSrv *http.Server
+	if *opsAddr != "" {
+		opsSrv = &http.Server{Addr: *opsAddr, Handler: a.ops}
+		go func() { errc <- opsSrv.ListenAndServe() }()
+		log.Info("ops listening", slog.String("addr", *opsAddr))
+	}
+	log.Info("incshrink-server listening",
+		slog.String("addr", *addr),
+		slog.Int("mailbox", *mailbox),
+		slog.Int("ingest_batch", *batch),
+		slog.Int("shards", *shards),
+		slog.Int("ingest_workers", *workers),
+		slog.String("data", *dataDir))
 
 	select {
 	case <-ctx.Done():
-		log.Printf("shutting down (grace %s)...", *grace)
+		log.Info("shutting down", slog.Duration("grace", *grace))
 		sctx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
-			log.Printf("http shutdown: %v", err)
+			log.Warn("http shutdown", slog.Any("error", err))
+		}
+		if opsSrv != nil {
+			if err := opsSrv.Shutdown(sctx); err != nil {
+				log.Warn("ops shutdown", slog.Any("error", err))
+			}
 		}
 		drained := true
-		if err := reg.Close(sctx); err != nil {
+		if err := a.reg.Close(sctx); err != nil {
 			drained = false
-			log.Printf("registry close: %v", err)
+			log.Warn("registry close", slog.Any("error", err))
 		}
-		if cfg.DataDir != "" {
+		if *dataDir != "" {
 			// Final checkpoints. After a clean drain the on-disk state
 			// matches exactly what every view last acknowledged; if the
 			// grace period expired mid-drain, the checkpoints are still
 			// consistent post-step states, but uploads the loops apply
 			// after this point are acknowledged without being captured.
-			if err := reg.CheckpointAll(); err != nil {
-				log.Printf("final checkpoint: %v", err)
+			if err := a.reg.CheckpointAll(); err != nil {
+				log.Error("final checkpoint", slog.Any("error", err))
 			} else if drained {
-				log.Printf("checkpointed %d view(s) to %s", reg.Len(), cfg.DataDir)
+				log.Info("checkpointed views", slog.Int("count", a.reg.Len()), slog.String("data", *dataDir))
 			} else {
-				log.Printf("checkpointed %d view(s) to %s with mailboxes still draining; late-acknowledged uploads may not be captured", reg.Len(), cfg.DataDir)
+				log.Warn("checkpointed views with mailboxes still draining; late-acknowledged uploads may not be captured",
+					slog.Int("count", a.reg.Len()), slog.String("data", *dataDir))
 			}
 		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			log.Error("listener", slog.Any("error", err))
+			os.Exit(1)
 		}
 	}
 }

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestObsSmoke is the in-process form of `make obs-smoke`: boot the exact
+// production wiring (buildApp), drive a short tenant session through the
+// API listener, then scrape the ops listener and assert the key metric
+// families from every layer are present, the trace ring holds the session's
+// spans, pprof answers, and the access log carries trace IDs.
+func TestObsSmoke(t *testing.T) {
+	logs := &strings.Builder{}
+	a, err := buildApp(appConfig{
+		Mailbox:       16,
+		IngestBatch:   8,
+		MaxBatchSteps: 512,
+		Shards:        4,
+		TraceBuffer:   256,
+		LogLevel:      slog.LevelInfo,
+		DataDir:       t.TempDir(),
+	}, logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.reg.Close(context.Background())
+
+	api := httptest.NewServer(a.api)
+	defer api.Close()
+	ops := httptest.NewServer(a.ops)
+	defer ops.Close()
+
+	do := func(method, url, body string) (int, string) {
+		req, err := http.NewRequest(method, url, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := api.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := do("POST", api.URL+"/v1/views", `{"name":"smoke","within":5,"epsilon":1.5,"t":3,"max_left":8,"max_right":8,"seed":7}`); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	for i := 0; i < 4; i++ {
+		if code, body := do("POST", api.URL+"/v1/views/smoke/advance", `{"left":[[1,0]],"right":[[1,1]]}`); code != http.StatusOK {
+			t.Fatalf("advance: %d %s", code, body)
+		}
+	}
+	if code, body := do("GET", api.URL+"/v1/views/smoke/count", ""); code != http.StatusOK {
+		t.Fatalf("count: %d %s", code, body)
+	}
+	if code, body := do("POST", api.URL+"/v1/views/smoke/snapshot", ""); code != http.StatusOK {
+		t.Fatalf("snapshot: %d %s", code, body)
+	}
+
+	// /healthz reflects the serving state through the same middleware.
+	if code, body := do("GET", api.URL+"/healthz", ""); code != http.StatusOK || !strings.Contains(body, `"ready":true`) {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+
+	// The ops scrape must contain families from every instrumented layer.
+	resp, err := ops.Client().Get(ops.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, family := range []string{
+		"incshrink_serve_advances_total",
+		"incshrink_serve_queue_depth",
+		"incshrink_serve_checkpoint_seconds",
+		"incshrink_core_phase_seconds",
+		"incshrink_core_steps_total",
+		"incshrink_mpc_predicted_vs_measured",
+		"incshrink_http_requests_total",
+	} {
+		if !strings.Contains(string(scrape), family) {
+			t.Errorf("scrape missing family %s", family)
+		}
+	}
+
+	// The trace ring is served as JSON and holds the session's spans.
+	resp, err = ops.Client().Get(ops.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Dropped int               `json:"dropped"`
+		Spans   []json.RawMessage `json:"spans"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&dump)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/traces: %v", err)
+	}
+	if len(dump.Spans) == 0 {
+		t.Error("/debug/traces: no spans after a session")
+	}
+
+	// pprof is reachable on the ops mux (and only there).
+	resp, err = ops.Client().Get(ops.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: %d", resp.StatusCode)
+	}
+	if code, _ := do("GET", api.URL+"/debug/pprof/cmdline", ""); code == http.StatusOK {
+		t.Error("pprof reachable on the tenant API listener")
+	}
+
+	if !strings.Contains(logs.String(), `"trace":"`) {
+		t.Errorf("access log missing trace IDs: %s", logs.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"warn":  slog.LevelWarn,
+		"error": slog.LevelError,
+	} {
+		got, err := parseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("parseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseLevel("loud"); err == nil {
+		t.Error("parseLevel accepted garbage")
+	}
+}

@@ -250,6 +250,13 @@ func Open(def ViewDef, opts Options) (*DB, error) {
 // Now returns the current logical time step.
 func (db *DB) Now() int { return db.now }
 
+// Instrument attaches a view's observability instruments (phase timing
+// histograms, window/budget gauges, predicted-vs-measured cost accounting)
+// to the engine; nil detaches. Instruments observe but never perturb: an
+// instrumented DB produces byte-identical counts and snapshots to a bare
+// one, a property pinned by test.
+func (db *DB) Instrument(ins *core.Instruments) { db.fw.SetInstruments(ins) }
+
 // Advance moves the database one time step forward, ingesting the records
 // each owner received this step. Uploads on the owners' schedule must fit
 // the configured block sizes. A rejected Advance (wrapping

@@ -17,6 +17,15 @@ import (
 // rebinds it from -detclock.exclude.
 var DetClockExclude = []string{"cmd", "examples"}
 
+// DetClockSanctioned lists the module-relative package prefixes that ARE
+// policed but are permitted to read the wall clock: the observability
+// layer, whose whole job is converting wall-time readings into instruments
+// (histograms, spans, EWMA hints) that the engine never reads back. Unlike
+// DetClockExclude, a sanctioned package keeps the global math/rand ban —
+// obs mints trace IDs from its own splitmix64 sequence, not from hidden
+// RNG state. Rebindable from -detclock.sanction.
+var DetClockSanctioned = []string{"internal/obs"}
+
 // timeForbidden are the wall-clock entry points of package time. Pure
 // conversions and constants (time.Duration, time.Unix, ParseDuration) stay
 // legal; anything observing or waiting on the real clock does not.
@@ -58,6 +67,10 @@ func runDetClock(pass *Pass) error {
 	if !inModule(pass.Pkg.Path()) || underAny(pass.Pkg.Path(), DetClockExclude) {
 		return nil
 	}
+	// Sanctioned packages (the obs layer) may read the clock — they are the
+	// legal wall-time origin the rest of the module borrows through
+	// obs.Now/obs.Since — but still may not draw from global math/rand.
+	sanctioned := underAny(pass.Pkg.Path(), DetClockSanctioned)
 	// info.Uses covers both calls (time.Now()) and value references
 	// (f := time.Now), so the ban cannot be laundered through a variable.
 	type finding struct {
@@ -72,7 +85,7 @@ func runDetClock(pass *Pass) error {
 		}
 		switch fn.Pkg().Path() {
 		case "time":
-			if timeForbidden[fn.Name()] {
+			if timeForbidden[fn.Name()] && !sanctioned {
 				found = append(found, finding{id, "wall-clock read time." + fn.Name() +
 					" in deterministic package " + pass.Pkg.Path() +
 					" (inject a logical clock or move timing to cmd/)"})

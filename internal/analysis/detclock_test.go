@@ -16,3 +16,10 @@ func TestDetClock(t *testing.T) {
 func TestDetClockSkipsBinaries(t *testing.T) {
 	analysistest.Run(t, analysis.DetClock, "incshrink/cmd/bench")
 }
+
+// The observability layer is sanctioned: it is the module's one legal
+// wall-time origin, so time.Now and friends pass — but the global
+// math/rand ban still applies there.
+func TestDetClockSanctionsObs(t *testing.T) {
+	analysistest.Run(t, analysis.DetClock, "incshrink/internal/obs")
+}

@@ -1,0 +1,24 @@
+// Package obs is a detclock fixture standing in for the sanctioned
+// observability package: wall-clock reads are legal here (this package IS
+// the module's wall-time origin), but global math/rand draws stay banned.
+package obs
+
+import (
+	"math/rand"
+	"time"
+)
+
+func sanctionedSites() {
+	_ = time.Now() // legal: obs is the sanctioned wall-time origin
+	t := time.Unix(0, 0)
+	_ = time.Since(t) // legal
+	time.Sleep(1)     // legal
+	f := time.Now     // legal even as a value reference
+	_ = f
+}
+
+func stillBanned() {
+	_ = rand.Intn(4)                        // want `global math/rand.Intn draw`
+	_ = rand.Float64()                      // want `global math/rand.Float64 draw`
+	_ = rand.New(rand.NewSource(1)).Intn(3) // explicit seeded source: legal as ever
+}

@@ -227,6 +227,11 @@ type Framework struct {
 	queries    int
 	querySecs  float64
 	now        int
+
+	// ins observes the engine (phase timings, window/budget gauges,
+	// predicted-vs-measured cost). nil means uninstrumented; every hook
+	// no-ops. See observe.go.
+	ins *Instruments
 }
 
 // tupleBits is the secret payload width of a view entry (two stream rows).
@@ -352,13 +357,17 @@ func (f *Framework) Step(st workload.Step) {
 		f.pendingRight = nil
 	}
 
+	shrinkStart, shrinkProbe := f.ins.phaseStart(f.rt.Meter)
 	f.shrink.Tick(f, st.T)
+	f.ins.phaseDone("shrink", mpc.OpShrink, shrinkStart, shrinkProbe, f.rt.Meter)
 
 	if f.cfg.FlushEvery > 0 && st.T > 0 && st.T%f.cfg.FlushEvery == 0 {
 		fetched, lost := f.cache.FlushInto(f.view, f.cfg.FlushSize)
 		f.lostReal += lost
 		f.rt.ObserveFlush(fetched, "flush")
 	}
+
+	f.ins.stepDone(f)
 }
 
 // StepBatch ingests a contiguous run of time steps in one call. It is
@@ -392,6 +401,7 @@ func (f *Framework) uploadDue(t int) bool {
 // and the join output, compaction output and overflow carry are
 // arena-backed oblivious.Buffers.
 func (f *Framework) transform(newLeft, newRight []oblivious.Record) {
+	start, probe := f.ins.phaseStart(f.rt.Meter)
 	f.transforms++
 	t := f.now
 
@@ -409,6 +419,7 @@ func (f *Framework) transform(newLeft, newRight []oblivious.Record) {
 
 	// Reserve the padding arena up front so the Record row views handed out
 	// by newPadRecord stay valid for the whole invocation.
+	padStart := f.ins.now()
 	f.padRows.Reset()
 	f.padRows.Grow(f.wl.MaxLeft + f.wl.MaxRight + f.activeLeftCap + f.activeRightCap)
 
@@ -427,6 +438,7 @@ func (f *Framework) transform(newLeft, newRight []oblivious.Record) {
 	}
 	nRight := len(f.inRight)
 	f.inRight = f.appendPaddedActive(f.inRight, f.activeRight, f.activeRightCap)
+	f.ins.observePad(padStart)
 
 	clear(f.newIDs)
 	for _, r := range f.inLeft[:nLeft] {
@@ -480,6 +492,8 @@ func (f *Framework) transform(newLeft, newRight []oblivious.Record) {
 	// place.
 	f.activeLeft = f.retainAlive(f.activeLeft[:0], f.inLeft, f.leftBudget, f.leftSince, t)
 	f.activeRight = f.retainAlive(f.activeRight[:0], f.inRight, f.rightBudget, f.rightSince, t)
+
+	f.ins.phaseDone("transform", mpc.OpTransform, start, probe, f.rt.Meter)
 }
 
 // truncatedJoinInto runs the omega-truncated oblivious sort-merge join over
@@ -567,11 +581,13 @@ func (f *Framework) Query() (int, float64) {
 // (internal/query). View rows have the layout {left..., right...}; the scan
 // runs over the view arena, handing the predicate zero-copy row views.
 func (f *Framework) QueryWhere(pred table.Predicate) (int, float64) {
+	qStart, qProbe := f.ins.phaseStart(f.rt.Meter)
 	before := f.rt.Meter.Seconds(mpc.OpQuery)
 	res := oblivious.CountBuffer(f.view.Buffer(), pred, f.rt.Meter, mpc.OpQuery)
 	qet := f.rt.Meter.Seconds(mpc.OpQuery) - before
 	f.queries++
 	f.querySecs += qet
+	f.ins.phaseDone("query", mpc.OpQuery, qStart, qProbe, f.rt.Meter)
 	return res, qet
 }
 

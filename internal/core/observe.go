@@ -1,0 +1,171 @@
+package core
+
+import (
+	"incshrink/internal/mpc"
+	"incshrink/internal/obs"
+)
+
+// InstrumentSet registers the core engine's metric families on a registry,
+// once, with a view label — every hosted view shares the families and owns
+// its own label children. The mpc predicted-vs-measured families are
+// view-agnostic (cost-model validation aggregates across tenants) and are
+// registered here too so one attach call wires both layers.
+type InstrumentSet struct {
+	phaseSeconds *obs.HistogramVec
+	windowSize   *obs.GaugeVec
+	budgetActive *obs.GaugeVec
+	cacheLen     *obs.GaugeVec
+	viewLen      *obs.GaugeVec
+	steps        *obs.CounterVec
+	queries      *obs.CounterVec
+	cost         *mpc.CostObserver
+}
+
+// phaseBuckets spans 1µs to ~67s: transform on a padded batch sits in the
+// middle of the ladder, a single oblivious count near the bottom.
+func phaseBuckets() []float64 { return obs.ExpBuckets(1e-6, 4, 14) }
+
+// NewInstrumentSet registers the core and mpc families on r. Registration
+// is idempotent, so several sets over one registry share series.
+func NewInstrumentSet(r *obs.Registry) *InstrumentSet {
+	return &InstrumentSet{
+		phaseSeconds: r.HistogramVec("incshrink_core_phase_seconds",
+			"wall time per engine phase (transform, shrink, pad, query)", phaseBuckets(), "view", "phase"),
+		windowSize: r.GaugeVec("incshrink_core_window_records",
+			"records in the active join window, by stream side", "view", "side"),
+		budgetActive: r.GaugeVec("incshrink_core_budget_active_records",
+			"records still holding contribution budget, by stream side", "view", "side"),
+		cacheLen: r.GaugeVec("incshrink_core_cache_len",
+			"public length of the secure cache", "view"),
+		viewLen: r.GaugeVec("incshrink_core_view_len",
+			"public length of the materialized view", "view"),
+		steps: r.CounterVec("incshrink_core_steps_total",
+			"workload time steps ingested", "view"),
+		queries: r.CounterVec("incshrink_core_queries_total",
+			"predicate-count queries answered", "view"),
+		cost: mpc.NewCostObserver(r),
+	}
+}
+
+// ForView resolves the label children for one hosted view.
+func (s *InstrumentSet) ForView(view string) *Instruments {
+	return &Instruments{
+		transformSeconds: s.phaseSeconds.With(view, "transform"),
+		shrinkSeconds:    s.phaseSeconds.With(view, "shrink"),
+		padSeconds:       s.phaseSeconds.With(view, "pad"),
+		querySeconds:     s.phaseSeconds.With(view, "query"),
+		windowLeft:       s.windowSize.With(view, "left"),
+		windowRight:      s.windowSize.With(view, "right"),
+		budgetLeft:       s.budgetActive.With(view, "left"),
+		budgetRight:      s.budgetActive.With(view, "right"),
+		cacheLen:         s.cacheLen.With(view),
+		viewLen:          s.viewLen.With(view),
+		steps:            s.steps.With(view),
+		queries:          s.queries.With(view),
+		cost:             s.cost,
+	}
+}
+
+// Drop removes a dropped view's label children so stale tenants do not
+// linger on /metrics.
+func (s *InstrumentSet) Drop(view string) {
+	for _, phase := range []string{"transform", "shrink", "pad", "query"} {
+		s.phaseSeconds.Delete(view, phase)
+	}
+	for _, side := range []string{"left", "right"} {
+		s.windowSize.Delete(view, side)
+		s.budgetActive.Delete(view, side)
+	}
+	s.cacheLen.Delete(view)
+	s.viewLen.Delete(view)
+	s.steps.Delete(view)
+	s.queries.Delete(view)
+}
+
+// Instruments is one view's resolved instrument children. A nil
+// *Instruments is fully functional and free: every method no-ops, so the
+// engine's hot paths carry no branches beyond the nil check and an
+// uninstrumented Framework behaves exactly as before.
+type Instruments struct {
+	transformSeconds *obs.Histogram
+	shrinkSeconds    *obs.Histogram
+	padSeconds       *obs.Histogram
+	querySeconds     *obs.Histogram
+	windowLeft       *obs.Gauge
+	windowRight      *obs.Gauge
+	budgetLeft       *obs.Gauge
+	budgetRight      *obs.Gauge
+	cacheLen         *obs.Gauge
+	viewLen          *obs.Gauge
+	steps            *obs.Counter
+	queries          *obs.Counter
+	cost             *mpc.CostObserver
+}
+
+// now reads the sanctioned clock, or 0 when uninstrumented.
+func (ins *Instruments) now() obs.Ticks {
+	if ins == nil {
+		return 0
+	}
+	return obs.Now()
+}
+
+// phaseStart opens a phase measurement: a clock reading plus a probe of the
+// meter's modeled totals, so phaseDone can attribute both wall time and the
+// modeled delta to the phase.
+func (ins *Instruments) phaseStart(m *mpc.Meter) (obs.Ticks, mpc.MeterProbe) {
+	if ins == nil {
+		return 0, mpc.MeterProbe{}
+	}
+	return obs.Now(), m.Probe()
+}
+
+// phaseDone closes a phase: the wall duration lands in the phase histogram
+// and, paired with the meter's modeled delta for op, feeds the
+// predicted-vs-measured cost accounting.
+func (ins *Instruments) phaseDone(phase string, op mpc.Op, start obs.Ticks, probe mpc.MeterProbe, m *mpc.Meter) {
+	if ins == nil {
+		return
+	}
+	elapsed := obs.Since(start)
+	switch phase {
+	case "transform":
+		ins.transformSeconds.ObserveDuration(elapsed)
+	case "shrink":
+		ins.shrinkSeconds.ObserveDuration(elapsed)
+	case "query":
+		ins.querySeconds.ObserveDuration(elapsed)
+		ins.queries.Inc()
+	}
+	sec, bytes := probe.Delta(m, op)
+	ins.cost.Observe(op, sec, bytes, elapsed)
+}
+
+// observePad records the padding section of one transform.
+func (ins *Instruments) observePad(start obs.Ticks) {
+	if ins == nil {
+		return
+	}
+	ins.padSeconds.ObserveDuration(obs.Since(start))
+}
+
+// stepDone refreshes the per-view state gauges after one ingested step.
+func (ins *Instruments) stepDone(f *Framework) {
+	if ins == nil {
+		return
+	}
+	ins.steps.Inc()
+	ins.windowLeft.Set(float64(len(f.activeLeft)))
+	ins.windowRight.Set(float64(len(f.activeRight)))
+	ins.budgetLeft.Set(float64(f.leftBudget.Active()))
+	ins.budgetRight.Set(float64(f.rightBudget.Active()))
+	ins.cacheLen.Set(float64(f.cache.Len()))
+	ins.viewLen.Set(float64(f.view.Len()))
+}
+
+// SetInstruments attaches (or, with nil, detaches) a view's instruments.
+// Instruments observe the engine — phase wall times, window and budget
+// levels, modeled-vs-measured cost — but no engine decision ever reads
+// them back; the non-perturbation tests pin that an instrumented run is
+// byte-identical to a bare one.
+func (f *Framework) SetInstruments(ins *Instruments) { f.ins = ins }

@@ -1,0 +1,91 @@
+package mpc
+
+import (
+	"time"
+
+	"incshrink/internal/obs"
+)
+
+// CostObserver is the ROADMAP's cost-model validation hook: it accumulates
+// the Meter's modeled seconds and bytes next to measured wall time per
+// operation class, and exposes their ratio as the
+// incshrink_mpc_predicted_vs_measured family. A ratio near the deployment's
+// calibration constant means the gate-count model tracks reality; drift
+// means the CostModel constants need re-fitting.
+//
+// The observer is write-only from the engine's point of view (the ratio
+// gauge is derived from the observer's own counters, never read back), so
+// attaching one cannot perturb a deterministic run.
+type CostObserver struct {
+	predictedSeconds *obs.CounterVec
+	measuredSeconds  *obs.CounterVec
+	predictedBytes   *obs.CounterVec
+	ratio            *obs.GaugeVec
+}
+
+// NewCostObserver registers the mpc cost families on r. Registration is
+// idempotent: two observers over one registry share the same series.
+func NewCostObserver(r *obs.Registry) *CostObserver {
+	return &CostObserver{
+		predictedSeconds: r.CounterVec("incshrink_mpc_predicted_seconds_total",
+			"modeled secure-computation seconds charged by the cost meter, by operation class", "op"),
+		measuredSeconds: r.CounterVec("incshrink_mpc_measured_seconds_total",
+			"measured wall seconds spent in the same operations, by operation class", "op"),
+		predictedBytes: r.CounterVec("incshrink_mpc_predicted_bytes_total",
+			"modeled secure-computation network bytes, by operation class", "op"),
+		ratio: r.GaugeVec("incshrink_mpc_predicted_vs_measured",
+			"ratio of cumulative modeled seconds to cumulative measured wall seconds, by operation class", "op"),
+	}
+}
+
+// Observe records one completed operation: the meter's modeled deltas for
+// the phase against the measured wall duration, then refreshes the ratio
+// gauge from the cumulative totals. Negative deltas (a meter Reset between
+// observations) are clamped to zero rather than corrupting the counters.
+func (o *CostObserver) Observe(op Op, predictedSeconds, predictedBytes float64, measured time.Duration) {
+	if o == nil {
+		return
+	}
+	name := op.String()
+	if predictedSeconds > 0 {
+		o.predictedSeconds.With(name).Add(predictedSeconds)
+	}
+	if predictedBytes > 0 {
+		o.predictedBytes.With(name).Add(predictedBytes)
+	}
+	if measured > 0 {
+		o.measuredSeconds.With(name).Add(measured.Seconds())
+	}
+	pred := o.predictedSeconds.With(name).Value()
+	meas := o.measuredSeconds.With(name).Value()
+	if meas > 0 {
+		o.ratio.With(name).Set(pred / meas)
+	}
+}
+
+// MeterProbe captures a Meter's per-phase totals so a caller can compute
+// the deltas one operation contributed. The probe is a value: take one
+// before the operation, call Delta after.
+type MeterProbe struct {
+	seconds [numOps]float64
+	bytes   [numOps]float64
+}
+
+// Probe snapshots the meter's modeled totals for all phases.
+func (m *Meter) Probe() MeterProbe {
+	var p MeterProbe
+	for op := Op(0); op < numOps; op++ {
+		p.seconds[op] = m.Seconds(op)
+		p.bytes[op] = m.Bytes(op)
+	}
+	return p
+}
+
+// Delta returns the modeled seconds and bytes the meter accumulated for op
+// since the probe was taken.
+func (p MeterProbe) Delta(m *Meter, op Op) (seconds, bytes float64) {
+	if op < 0 || op >= numOps {
+		op = OpOther
+	}
+	return m.Seconds(op) - p.seconds[op], m.Bytes(op) - p.bytes[op]
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceIDUniqueAndHex(t *testing.T) {
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s after %d mints", id, i)
+		}
+		seen[id] = true
+		if s := id.String(); len(s) != 16 {
+			t.Fatalf("String() = %q, want 16 hex digits", s)
+		}
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	if _, ok := TraceFrom(context.Background()); ok {
+		t.Fatal("empty context should carry no trace")
+	}
+	id := NewTraceID()
+	ctx := WithTrace(context.Background(), id)
+	got, ok := TraceFrom(ctx)
+	if !ok || got != id {
+		t.Fatalf("TraceFrom = %v, %v; want %v, true", got, ok, id)
+	}
+}
+
+func TestTraceLogRingOverwrite(t *testing.T) {
+	l := NewTraceLog(3)
+	for i := 1; i <= 5; i++ {
+		l.Record(Span{Trace: TraceID(i), Name: "s"})
+	}
+	spans := l.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("len = %d, want 3", len(spans))
+	}
+	// Oldest first: 3, 4, 5 survive.
+	for i, want := range []TraceID{3, 4, 5} {
+		if spans[i].Trace != want {
+			t.Fatalf("span %d trace = %d, want %d", i, spans[i].Trace, want)
+		}
+	}
+	if l.drops.Load() != 2 {
+		t.Fatalf("drops = %d, want 2", l.drops.Load())
+	}
+}
+
+func TestTraceLogPartialFill(t *testing.T) {
+	l := NewTraceLog(8)
+	l.Record(Span{Trace: 1, Name: "a"})
+	l.Record(Span{Trace: 2, Name: "b"})
+	spans := l.Spans()
+	if len(spans) != 2 || spans[0].Trace != 1 || spans[1].Trace != 2 {
+		t.Fatalf("partial fill wrong: %+v", spans)
+	}
+}
+
+func TestTraceHandlerJSON(t *testing.T) {
+	l := NewTraceLog(4)
+	id := NewTraceID()
+	l.Record(Span{Trace: id, Name: "ingest.apply", Start: 100, Dur: 2 * time.Millisecond, Note: "steps=3"})
+	srv := httptest.NewServer(l.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Dropped uint64 `json:"dropped"`
+		Spans   []struct {
+			Trace string `json:"trace"`
+			Name  string `json:"name"`
+			Dur   int64  `json:"duration_ns"`
+			Note  string `json:"note"`
+		} `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(body.Spans))
+	}
+	s := body.Spans[0]
+	if s.Trace != id.String() || s.Name != "ingest.apply" || s.Dur != int64(2*time.Millisecond) || s.Note != "steps=3" {
+		t.Fatalf("span wire form wrong: %+v", s)
+	}
+	if !strings.Contains(s.Trace, id.String()) {
+		t.Fatalf("trace not hex: %q", s.Trace)
+	}
+}

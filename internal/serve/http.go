@@ -14,7 +14,7 @@ import (
 
 // The HTTP JSON API over a Registry. Routes (all JSON in and out):
 //
-//	GET    /healthz                        liveness + view count
+//	GET    /healthz                        per-shard readiness (503 when degraded)
 //	GET    /v1/views                       list view names
 //	POST   /v1/views                       create a view (CreateRequest)
 //	DELETE /v1/views/{name}                drop a view
@@ -181,7 +181,15 @@ func NewHandler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "views": reg.Len()})
+		h := reg.Health()
+		code := http.StatusOK
+		if !h.Ready {
+			// A load balancer should stop routing here: either a restore is
+			// rebuilding the tenant set, or some view's ingest queue is at
+			// the high-water mark and uploads are being bounced.
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
 	})
 
 	mux.HandleFunc("GET /v1/views", func(w http.ResponseWriter, r *http.Request) {
@@ -308,7 +316,7 @@ func NewHandler(reg *Registry) http.Handler {
 		writeJSON(w, http.StatusOK, SnapshotResponse{Path: path, Step: step})
 	}))
 
-	return mux
+	return reg.withObservability(mux)
 }
 
 // withView resolves the {name} path segment to a live view.

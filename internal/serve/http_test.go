@@ -53,11 +53,8 @@ func TestHTTPEndToEnd(t *testing.T) {
 	defer srv.Close()
 	c := srv.Client()
 
-	var health struct {
-		OK    bool `json:"ok"`
-		Views int  `json:"views"`
-	}
-	if code := doJSON(t, c, "GET", srv.URL+"/healthz", nil, &health); code != 200 || !health.OK || health.Views != 0 {
+	var health Health
+	if code := doJSON(t, c, "GET", srv.URL+"/healthz", nil, &health); code != 200 || !health.Ready || health.Views != 0 {
 		t.Fatalf("healthz: code=%d %+v", code, health)
 	}
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"incshrink"
+	"incshrink/internal/obs"
 	"incshrink/internal/runner"
 )
 
@@ -155,12 +156,12 @@ func RunLoad(ctx context.Context, reg *Registry, cfg LoadConfig) (LoadReport, er
 			},
 		}
 	}
-	start := time.Now() //lint:allow detclock load-generator wall-clock; throughput measurement is the deliverable, never engine state
+	start := obs.Now()
 	runs, err := runner.Map(ctx, cells, cfg.Workers)
 	if err != nil {
 		return LoadReport{}, err
 	}
-	elapsed := time.Since(start).Seconds() //lint:allow detclock load-generator wall-clock; reported metric only
+	elapsed := obs.Since(start).Seconds()
 
 	rep := LoadReport{
 		Views:          cfg.Views,
@@ -213,10 +214,10 @@ func driveView(ctx context.Context, reg *Registry, name string, cfg LoadConfig) 
 			rows += len(s.Left) + len(s.Right)
 		}
 		for {
-			s := time.Now() //lint:allow detclock advance-latency histogram; measurement only, not engine input
+			s := obs.Now()
 			_, err := v.AdvanceBatch(ctx, steps)
 			if err == nil {
-				run.advanceLats = append(run.advanceLats, time.Since(s).Seconds()) //lint:allow detclock advance-latency histogram; measurement only, not engine input
+				run.advanceLats = append(run.advanceLats, obs.Since(s).Seconds())
 				run.requests++
 				run.advances += int64(len(steps))
 				run.rows += int64(rows)
@@ -253,9 +254,9 @@ func driveView(ctx context.Context, reg *Registry, name string, cfg LoadConfig) 
 		// (t+1) % QueryEvery == 0"; batched drivers query once per request
 		// whose span crossed a schedule point.
 		if (t+1)/cfg.QueryEvery != first/cfg.QueryEvery {
-			s := time.Now() //lint:allow detclock query-latency histogram; measurement only, not engine input
+			s := obs.Now()
 			n, _ := v.Count()
-			run.queryLats = append(run.queryLats, time.Since(s).Seconds()) //lint:allow detclock query-latency histogram; measurement only, not engine input
+			run.queryLats = append(run.queryLats, obs.Since(s).Seconds())
 			run.queries++
 			run.count = n
 		}
@@ -263,9 +264,9 @@ func driveView(ctx context.Context, reg *Registry, name string, cfg LoadConfig) 
 	// The reported count is always the answer after the full horizon; when
 	// QueryEvery divides Steps the in-loop query already produced it.
 	if cfg.Steps%cfg.QueryEvery != 0 {
-		s := time.Now() //lint:allow detclock query-latency histogram; measurement only, not engine input
+		s := obs.Now()
 		run.count, _ = v.Count()
-		run.queryLats = append(run.queryLats, time.Since(s).Seconds()) //lint:allow detclock query-latency histogram; measurement only, not engine input
+		run.queryLats = append(run.queryLats, obs.Since(s).Seconds())
 		run.queries++
 	}
 	return run, nil

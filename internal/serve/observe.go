@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+
+	"incshrink/internal/obs"
+)
+
+// serveMetrics are the serving layer's instrument children, registered once
+// per registry on the Config.Metrics registry. All methods on a nil
+// *serveMetrics no-op, so an unobserved registry pays nothing. The families
+// mirror the per-view ServeStats atomics in aggregate — the atomics stay
+// authoritative for the stats endpoint; the obs counters are the scrapeable
+// projection.
+type serveMetrics struct {
+	advances          *obs.Counter
+	rejected          *obs.Counter
+	failed            *obs.Counter
+	batches           *obs.Counter
+	queries           *obs.Counter
+	batchSteps        *obs.Histogram
+	batchRequests     *obs.Histogram
+	advanceSeconds    *obs.Histogram
+	querySeconds      *obs.Histogram
+	checkpointSeconds *obs.Histogram
+	checkpointBytes   *obs.Histogram
+	queueDepth        *obs.GaugeVec
+	views             *obs.Gauge
+	httpRequests      *obs.CounterVec
+	httpSeconds       *obs.Histogram
+}
+
+// latencyBuckets spans 10µs to ~42s.
+func latencyBuckets() []float64 { return obs.ExpBuckets(1e-5, 4, 12) }
+
+// newServeMetrics registers the serve families and the scrape-time gauges:
+// queue depth is summed per shard (and the view count refreshed) inside an
+// OnGather hook rather than on every state change, so the hot ingest path
+// never touches a Vec lookup.
+func newServeMetrics(m *obs.Registry, r *Registry) *serveMetrics {
+	sm := &serveMetrics{
+		advances: m.Counter("incshrink_serve_advances_total",
+			"upload steps applied across all views"),
+		rejected: m.Counter("incshrink_serve_rejected_total",
+			"upload steps refused at admission (queue past high water)"),
+		failed: m.Counter("incshrink_serve_failed_total",
+			"ingest requests the engine rejected (validation failures)"),
+		batches: m.Counter("incshrink_serve_batches_total",
+			"engine ingest calls (one per coalesced mailbox batch)"),
+		queries: m.Counter("incshrink_serve_queries_total",
+			"count queries served across all views"),
+		batchSteps: m.Histogram("incshrink_serve_batch_steps",
+			"steps per engine ingest batch (the achieved coalescing factor)",
+			obs.ExpBuckets(1, 2, 10)),
+		batchRequests: m.Histogram("incshrink_serve_batch_requests",
+			"mailbox requests coalesced into one engine ingest batch",
+			obs.ExpBuckets(1, 2, 6)),
+		advanceSeconds: m.Histogram("incshrink_serve_advance_seconds",
+			"wall time applying one engine ingest batch", latencyBuckets()),
+		querySeconds: m.Histogram("incshrink_serve_query_seconds",
+			"wall time serving one count query", latencyBuckets()),
+		checkpointSeconds: m.Histogram("incshrink_serve_checkpoint_seconds",
+			"wall time writing one view checkpoint", latencyBuckets()),
+		checkpointBytes: m.Histogram("incshrink_serve_checkpoint_bytes",
+			"size of one written view checkpoint", obs.ExpBuckets(256, 4, 12)),
+		queueDepth: m.GaugeVec("incshrink_serve_queue_depth",
+			"queued ingest steps summed over the shard's views", "shard"),
+		views: m.Gauge("incshrink_serve_views",
+			"registered views"),
+		httpRequests: m.CounterVec("incshrink_http_requests_total",
+			"HTTP API requests, by response status", "code"),
+		httpSeconds: m.Histogram("incshrink_http_request_seconds",
+			"HTTP API request duration", latencyBuckets()),
+	}
+	m.OnGather(func() {
+		views := 0
+		for i, sh := range r.shards {
+			depth := 0
+			sh.mu.RLock()
+			for _, v := range sh.views {
+				if !v.dropping {
+					views++
+				}
+				depth += int(v.depth.Load())
+			}
+			sh.mu.RUnlock()
+			sm.queueDepth.With(strconv.Itoa(i)).Set(float64(depth))
+		}
+		sm.views.Set(float64(views))
+	})
+	return sm
+}
+
+func (sm *serveMetrics) observeBatch(requests, steps int, d obs.Ticks) {
+	if sm == nil {
+		return
+	}
+	sm.batches.Inc()
+	sm.batchRequests.Observe(float64(requests))
+	sm.batchSteps.Observe(float64(steps))
+	sm.advanceSeconds.ObserveDuration(obs.Since(d))
+}
+
+func (sm *serveMetrics) observeApplied(steps int) {
+	if sm == nil {
+		return
+	}
+	sm.advances.Add(float64(steps))
+}
+
+func (sm *serveMetrics) observeRejected(steps int) {
+	if sm == nil {
+		return
+	}
+	sm.rejected.Add(float64(steps))
+}
+
+func (sm *serveMetrics) observeFailed() {
+	if sm == nil {
+		return
+	}
+	sm.failed.Inc()
+}
+
+func (sm *serveMetrics) observeQuery(start obs.Ticks) {
+	if sm == nil {
+		return
+	}
+	sm.queries.Inc()
+	sm.querySeconds.ObserveDuration(obs.Since(start))
+}
+
+func (sm *serveMetrics) observeCheckpoint(start obs.Ticks, bytes int) {
+	if sm == nil {
+		return
+	}
+	sm.checkpointSeconds.ObserveDuration(obs.Since(start))
+	sm.checkpointBytes.Observe(float64(bytes))
+}
+
+// span records a trace span in the registry's ring, if tracing is on and
+// the request carried a trace ID.
+func (r *Registry) span(trace obs.TraceID, name string, start obs.Ticks, note string) {
+	if r.traces == nil || trace == 0 {
+		return
+	}
+	r.traces.Record(obs.Span{Trace: trace, Name: name, Start: start, Dur: obs.Since(start), Note: note})
+}
+
+// ShardHealth is one shard's readiness in a health report.
+type ShardHealth struct {
+	Shard int `json:"shard"`
+	// Views is the shard's registered view count; QueuedSteps sums their
+	// ingest queues; MaxDepth is the deepest single view queue.
+	Views       int `json:"views"`
+	QueuedSteps int `json:"queued_steps"`
+	MaxDepth    int `json:"max_depth"`
+	// Ready is false once any of the shard's views has a queue at or past
+	// the high-water mark — the same threshold admission rejects at, so an
+	// unready shard is one where uploads are (about to be) bounced.
+	Ready bool `json:"ready"`
+}
+
+// Health is the registry's readiness report: per-shard queue pressure plus
+// the restore-in-progress flag.
+type Health struct {
+	Ready     bool          `json:"ready"`
+	Restoring bool          `json:"restoring"`
+	Views     int           `json:"views"`
+	Shards    []ShardHealth `json:"shards"`
+}
+
+// Health reports per-shard readiness: a shard is ready while every view's
+// ingest queue sits below the high-water mark, and the whole registry is
+// unready during a restore (views are still being re-registered, so
+// requests would land on an incomplete tenant set).
+func (r *Registry) Health() Health {
+	h := Health{Ready: true, Restoring: r.restoring.Load(), Shards: make([]ShardHealth, len(r.shards))}
+	for i, sh := range r.shards {
+		s := ShardHealth{Shard: i, Ready: true}
+		sh.mu.RLock()
+		for _, v := range sh.views {
+			if v.dropping {
+				continue
+			}
+			s.Views++
+			d := int(v.depth.Load())
+			s.QueuedSteps += d
+			if d > s.MaxDepth {
+				s.MaxDepth = d
+			}
+		}
+		sh.mu.RUnlock()
+		if s.MaxDepth >= r.cfg.HighWater {
+			s.Ready = false
+		}
+		h.Views += s.Views
+		h.Shards[i] = s
+	}
+	if h.Restoring {
+		h.Ready = false
+	}
+	for _, s := range h.Shards {
+		if !s.Ready {
+			h.Ready = false
+		}
+	}
+	return h
+}
+
+// statusRecorder captures the response code for access logs and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.code = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// withObservability wraps the API mux with the request middleware: a trace
+// ID per request (minted, or adopted from a valid X-Trace-Id header),
+// echoed back in the response, carried in the context through the ingest
+// mailbox, recorded as an "http ..." span, and stamped on a structured
+// access log line. With no metrics, traces or logger configured the
+// middleware collapses to pass-through.
+func (r *Registry) withObservability(next http.Handler) http.Handler {
+	if r.met == nil && r.traces == nil && r.logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := obs.Now()
+		trace := traceFromHeader(req.Header.Get("X-Trace-Id"))
+		if trace == 0 {
+			trace = obs.NewTraceID()
+		}
+		w.Header().Set("X-Trace-Id", trace.String())
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, req.WithContext(obs.WithTrace(req.Context(), trace)))
+
+		if r.met != nil {
+			r.met.httpRequests.With(strconv.Itoa(rec.code)).Inc()
+			r.met.httpSeconds.ObserveDuration(obs.Since(start))
+		}
+		r.span(trace, "http "+req.Method+" "+req.URL.Path, start, strconv.Itoa(rec.code))
+		if r.logger != nil {
+			r.logger.LogAttrs(req.Context(), slog.LevelInfo, "request",
+				slog.String("trace", trace.String()),
+				slog.String("method", req.Method),
+				slog.String("path", req.URL.Path),
+				slog.Int("status", rec.code),
+				slog.Duration("duration", obs.Since(start)),
+			)
+		}
+	})
+}
+
+// traceFromHeader parses a 16-hex-digit trace ID, returning 0 for anything
+// else (the caller mints a fresh one).
+func traceFromHeader(s string) obs.TraceID {
+	if len(s) != 16 {
+		return 0
+	}
+	n, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return obs.TraceID(n)
+}

@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"incshrink/internal/obs"
+)
+
+// TestHealthDegradedQueue pins the degraded path: a view whose ingest queue
+// sits at the high-water mark flips its shard — and the registry — to
+// unready, and /healthz answers 503 until the queue drains.
+func TestHealthDegradedQueue(t *testing.T) {
+	reg := NewRegistry(Config{})
+	defer reg.Close(context.Background())
+	v, err := reg.Create("sales", testDef(), testOpts(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+
+	healthz := func() (int, Health) {
+		resp, err := srv.Client().Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h
+	}
+
+	if code, h := healthz(); code != http.StatusOK || !h.Ready || h.Views != 1 {
+		t.Fatalf("healthy: code=%d %+v", code, h)
+	}
+
+	// Simulate a backed-up queue: depth is the same counter admission
+	// checks, so pushing it to the high-water mark is exactly the state a
+	// slow consumer leaves behind.
+	v.depth.Add(int32(reg.cfg.HighWater))
+	code, h := healthz()
+	if code != http.StatusServiceUnavailable || h.Ready {
+		t.Fatalf("degraded: code=%d %+v", code, h)
+	}
+	found := false
+	for _, s := range h.Shards {
+		if s.MaxDepth >= reg.cfg.HighWater {
+			if s.Ready {
+				t.Errorf("shard %d at high water but ready", s.Shard)
+			}
+			found = true
+		} else if !s.Ready {
+			t.Errorf("shard %d unready with depth %d", s.Shard, s.MaxDepth)
+		}
+	}
+	if !found {
+		t.Fatalf("no shard reports the backed-up view: %+v", h.Shards)
+	}
+
+	v.depth.Add(-int32(reg.cfg.HighWater))
+	if code, h := healthz(); code != http.StatusOK || !h.Ready {
+		t.Fatalf("drained: code=%d %+v", code, h)
+	}
+}
+
+// TestHealthRestoring pins the boot path: while RestoreAll is sweeping the
+// data directory the registry reports not-ready even with every queue empty.
+func TestHealthRestoring(t *testing.T) {
+	reg := NewRegistry(Config{})
+	defer reg.Close(context.Background())
+
+	reg.restoring.Store(true)
+	h := reg.Health()
+	if h.Ready || !h.Restoring {
+		t.Fatalf("restoring registry reported %+v", h)
+	}
+	reg.restoring.Store(false)
+	if h := reg.Health(); !h.Ready || h.Restoring {
+		t.Fatalf("idle registry reported %+v", h)
+	}
+}
+
+// TestServeMetricsScrape drives a full session over the wire with the whole
+// observability stack on, then asserts the scrape contains every layer's
+// families: serve counters and histograms, per-view core gauges, the MPC
+// predicted-vs-measured accounting, and the HTTP middleware's own metrics.
+func TestServeMetricsScrape(t *testing.T) {
+	m := obs.NewRegistry()
+	traces := obs.NewTraceLog(128)
+	logs := &strings.Builder{}
+	reg := NewRegistry(Config{
+		DataDir: t.TempDir(),
+		Metrics: m,
+		Traces:  traces,
+		Logger:  slog.New(slog.NewJSONHandler(logs, nil)),
+	})
+	defer reg.Close(context.Background())
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+	c := srv.Client()
+
+	post := func(url, body string) *http.Response {
+		req, err := http.NewRequest("POST", srv.URL+url, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := post("/v1/views", `{"name":"sales","within":5,"epsilon":1.5,"t":3,"max_left":8,"max_right":8,"seed":42}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	for i := 0; i < 6; i++ {
+		resp := post("/v1/views/sales/advance", `{"left":[[1,0]],"right":[[1,1]]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("advance %d: %d", i, resp.StatusCode)
+		}
+		if resp.Header.Get("X-Trace-Id") == "" {
+			t.Fatal("advance response missing X-Trace-Id")
+		}
+	}
+	resp, err := c.Get(srv.URL + "/v1/views/sales/count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("count: %d", resp.StatusCode)
+	}
+	if resp := post("/v1/views/sales/snapshot", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d", resp.StatusCode)
+	}
+
+	text := m.DumpText()
+	for _, want := range []string{
+		"incshrink_serve_advances_total 6",
+		"incshrink_serve_batches_total",
+		"incshrink_serve_queries_total 1",
+		"incshrink_serve_advance_seconds_count",
+		"incshrink_serve_checkpoint_seconds_count 1",
+		"incshrink_serve_checkpoint_bytes_count 1",
+		`incshrink_serve_queue_depth{shard="0"}`,
+		"incshrink_serve_views 1",
+		`incshrink_core_phase_seconds_count{view="sales",phase="transform"} 6`,
+		`incshrink_core_phase_seconds_count{view="sales",phase="shrink"} 6`,
+		`incshrink_core_steps_total{view="sales"} 6`,
+		`incshrink_core_queries_total{view="sales"} 1`,
+		`incshrink_core_window_records{view="sales",side="left"}`,
+		`incshrink_mpc_predicted_vs_measured{op="Transform"}`,
+		`incshrink_mpc_predicted_seconds_total{op="Shrink"}`,
+		`incshrink_http_requests_total{code="200"}`,
+		"incshrink_http_request_seconds_count",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape:\n%s", text)
+	}
+
+	// The middleware span and the mailbox's ingest spans share the trace ID
+	// minted for the request.
+	var sawHTTP, sawApply bool
+	for _, s := range traces.Spans() {
+		switch {
+		case strings.HasPrefix(s.Name, "http POST /v1/views/sales/advance"):
+			sawHTTP = true
+		case s.Name == "ingest.apply":
+			sawApply = true
+		}
+	}
+	if !sawHTTP || !sawApply {
+		t.Errorf("trace ring missing spans: http=%v apply=%v", sawHTTP, sawApply)
+	}
+	if !strings.Contains(logs.String(), `"trace":"`) {
+		t.Errorf("access log missing trace IDs: %s", logs.String())
+	}
+
+	// Dropping the view removes its per-view core series so the scrape does
+	// not accumulate dead tenants.
+	req, _ := http.NewRequest("DELETE", srv.URL+"/v1/views/sales", nil)
+	if resp, err := c.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("drop: %v %v", err, resp)
+	}
+	if text := m.DumpText(); strings.Contains(text, `view="sales"`) {
+		t.Errorf("dropped view still in scrape:\n%s", text)
+	}
+}
+
+// TestTraceHeaderAdopted pins header propagation: a well-formed X-Trace-Id
+// is adopted (echoed back and used for spans); a malformed one is replaced
+// with a freshly minted ID.
+func TestTraceHeaderAdopted(t *testing.T) {
+	reg := NewRegistry(Config{Traces: obs.NewTraceLog(16)})
+	defer reg.Close(context.Background())
+	srv := httptest.NewServer(NewHandler(reg))
+	defer srv.Close()
+
+	get := func(header string) string {
+		req, _ := http.NewRequest("GET", srv.URL+"/v1/views", nil)
+		if header != "" {
+			req.Header.Set("X-Trace-Id", header)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.Header.Get("X-Trace-Id")
+	}
+
+	if got := get("00000000deadbeef"); got != "00000000deadbeef" {
+		t.Errorf("valid header not adopted: %q", got)
+	}
+	if got := get("not-a-trace"); got == "" || got == "not-a-trace" || len(got) != 16 {
+		t.Errorf("malformed header not replaced: %q", got)
+	}
+	if got := get(""); len(got) != 16 {
+		t.Errorf("minted trace ID malformed: %q", got)
+	}
+}

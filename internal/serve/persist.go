@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"incshrink"
+	"incshrink/internal/obs"
 )
 
 // Durability for the serving layer. Every hosted view checkpoints to its
@@ -66,11 +67,14 @@ func snapName(file string) (string, bool) {
 // storage. Returns the file path and the view's logical time at the
 // checkpoint.
 func (v *View) checkpoint() (path string, step int, err error) {
+	start := obs.Now()
+	written := 0
 	defer func() {
 		if err != nil {
 			v.cpErrors.Add(1)
 		} else {
 			v.checkpoints.Add(1)
+			v.reg.met.observeCheckpoint(start, written)
 		}
 	}()
 	if v.reg.cfg.DataDir == "" {
@@ -114,6 +118,7 @@ func (v *View) checkpoint() (path string, step int, err error) {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return "", 0, fmt.Errorf("serve: checkpointing %q: %w", v.name, err)
 	}
+	written = buf.Len()
 	return path, step, nil
 }
 
@@ -185,6 +190,11 @@ func (r *Registry) RestoreAll() ([]string, error) {
 	if r.cfg.DataDir == "" {
 		return nil, ErrNoDataDir
 	}
+	// While the restore sweep runs, /healthz reports not-ready: the tenant
+	// set is incomplete, so routing traffic here would 404 views that are
+	// about to exist.
+	r.restoring.Store(true)
+	defer r.restoring.Store(false)
 	entries, err := os.ReadDir(r.cfg.DataDir)
 	if err != nil {
 		return nil, fmt.Errorf("serve: reading data directory: %w", err)

@@ -53,6 +53,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"math"
 	"os"
 	"sort"
@@ -61,6 +62,8 @@ import (
 	"time"
 
 	"incshrink"
+	"incshrink/internal/core"
+	"incshrink/internal/obs"
 	"incshrink/internal/runner"
 )
 
@@ -142,6 +145,19 @@ type Config struct {
 	// 0 disables periodic checkpointing; explicit checkpoints and
 	// checkpoint-on-shutdown still work whenever DataDir is set.
 	CheckpointEvery int
+	// Metrics, when non-nil, turns on instrumentation: the serving
+	// families (queue depth, batch coalescing, latencies, checkpoint
+	// cost) are registered on it, and every hosted view's engine gets
+	// core/mpc instruments attached. Instruments observe but never
+	// perturb: per-view counts and snapshots are byte-identical with or
+	// without a Metrics registry (pinned by test).
+	Metrics *obs.Registry
+	// Traces, when non-nil, records request spans (HTTP dispatch, mailbox
+	// wait, batch apply) into the ring, dumpable via /debug/traces.
+	Traces *obs.TraceLog
+	// Logger, when non-nil, emits structured access logs (with trace IDs)
+	// from the HTTP handler.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -178,6 +194,15 @@ type Registry struct {
 	closed atomic.Bool // no new views or uploads once set
 	shards []*shard
 	wg     sync.WaitGroup // running ingest loops
+
+	// Observability attachments (all optional, see Config): the serve
+	// metric families, the per-view engine instrument set, the span ring
+	// and the access logger. restoring gates readiness during RestoreAll.
+	met       *serveMetrics
+	ins       *core.InstrumentSet
+	traces    *obs.TraceLog
+	logger    *slog.Logger
+	restoring atomic.Bool
 }
 
 // NewRegistry creates an empty registry.
@@ -187,9 +212,15 @@ func NewRegistry(cfg Config) *Registry {
 		cfg:    cfg,
 		sem:    make(chan struct{}, cfg.IngestWorkers),
 		shards: make([]*shard, cfg.Shards),
+		traces: cfg.Traces,
+		logger: cfg.Logger,
 	}
 	for i := range r.shards {
 		r.shards[i] = &shard{views: make(map[string]*View)}
+	}
+	if cfg.Metrics != nil {
+		r.met = newServeMetrics(cfg.Metrics, r)
+		r.ins = core.NewInstrumentSet(cfg.Metrics)
 	}
 	return r
 }
@@ -249,6 +280,11 @@ func (r *Registry) register(name string, db *incshrink.DB) (*View, error) {
 		db:       db,
 		mailbox:  make(chan *ingestReq, r.cfg.MailboxDepth),
 		loopDone: make(chan struct{}),
+	}
+	if r.ins != nil {
+		// Attach the engine instruments before the first step can apply, so
+		// the view's whole history is observed.
+		db.Instrument(r.ins.ForView(name))
 	}
 	sh.views[name] = v
 	r.wg.Add(1)
@@ -340,6 +376,10 @@ func (r *Registry) Drop(name string) error {
 	sh.mu.Lock()
 	delete(sh.views, name)
 	sh.mu.Unlock()
+	if r.ins != nil {
+		// The tenant is gone; its label children must not linger on /metrics.
+		r.ins.Drop(name)
+	}
 	return rmErr
 }
 
@@ -471,6 +511,13 @@ type ingestReq struct {
 	steps      []incshrink.StepRows
 	checkpoint bool
 	done       chan ingestResult
+
+	// trace and admitted carry the request's trace context across the
+	// mailbox: the ID minted in the HTTP handler and the admission tick,
+	// so the ingest loop can record the mailbox-wait and batch-apply spans
+	// against the originating request.
+	trace    obs.TraceID
+	admitted obs.Ticks
 }
 
 type ingestResult struct {
@@ -555,7 +602,15 @@ func (v *View) applyBatch(reqs []*ingestReq) {
 		}
 	}
 
-	start := time.Now() //lint:allow detclock feeds the Retry-After EWMA hint; advisory backpressure, never view state
+	// Wall time here feeds the Retry-After EWMA hint, the latency
+	// histograms and the trace spans — advisory observability, never view
+	// state. Read through the sanctioned obs clock.
+	start := obs.Now()
+	for _, r := range reqs {
+		if r.trace != 0 {
+			v.reg.span(r.trace, "ingest.wait", r.admitted, "")
+		}
+	}
 	v.mu.Lock()
 	// Take the view mutex before a worker-pool slot: a slot is only ever
 	// held during actual engine execution, so readers parked on one view's
@@ -565,6 +620,7 @@ func (v *View) applyBatch(reqs []*ingestReq) {
 	err := v.db.AdvanceBatch(steps)
 	if err == nil {
 		v.batches.Add(1)
+		v.reg.met.observeBatch(len(reqs), total, start)
 		s := before
 		for _, r := range reqs {
 			s += len(r.steps)
@@ -572,6 +628,7 @@ func (v *View) applyBatch(reqs []*ingestReq) {
 		}
 	} else if len(reqs) == 1 {
 		v.failed.Add(1)
+		v.reg.met.observeFailed()
 		reqs[0].done <- ingestResult{step: v.db.Now(), err: err}
 	} else {
 		// A poisoned coalesced batch: isolate the offender by applying each
@@ -579,9 +636,11 @@ func (v *View) applyBatch(reqs []*ingestReq) {
 		for _, r := range reqs {
 			if rerr := v.db.AdvanceBatch(r.steps); rerr != nil {
 				v.failed.Add(1)
+				v.reg.met.observeFailed()
 				r.done <- ingestResult{step: v.db.Now(), err: rerr}
 			} else {
 				v.batches.Add(1)
+				v.reg.met.observeBatch(1, len(r.steps), start)
 				v.ackApplied(r, v.db.Now())
 			}
 		}
@@ -590,8 +649,13 @@ func (v *View) applyBatch(reqs []*ingestReq) {
 	<-v.reg.sem
 	v.mu.Unlock()
 
+	for _, r := range reqs {
+		if r.trace != 0 {
+			v.reg.span(r.trace, "ingest.apply", start, fmt.Sprintf("steps=%d coalesced=%d", total, len(reqs)))
+		}
+	}
 	if applied > 0 {
-		per := time.Since(start).Nanoseconds() / int64(applied) //lint:allow detclock feeds the Retry-After EWMA hint; advisory backpressure, never view state
+		per := obs.Since(start).Nanoseconds() / int64(applied)
 		old := v.stepNanos.Load()
 		if old == 0 {
 			v.stepNanos.Store(per)
@@ -619,6 +683,7 @@ func (v *View) applyBatch(reqs []*ingestReq) {
 // acknowledges it with the view's logical time after its last step.
 func (v *View) ackApplied(r *ingestReq, step int) {
 	v.advances.Add(int64(len(r.steps)))
+	v.reg.met.observeApplied(len(r.steps))
 	for _, s := range r.steps {
 		v.rowsL.Add(int64(len(s.Left)))
 		v.rowsR.Add(int64(len(s.Right)))
@@ -651,6 +716,10 @@ func (v *View) enqueue(ctx context.Context, steps []incshrink.StepRows) (int, er
 			incshrink.ErrInvalidArgument, len(steps), v.reg.cfg.MaxBatchSteps)
 	}
 	req := &ingestReq{steps: steps, done: make(chan ingestResult, 1)}
+	if id, ok := obs.TraceFrom(ctx); ok {
+		req.trace = id
+		req.admitted = obs.Now()
+	}
 	// The send must not race stop()'s close of the mailbox: check and send
 	// under the same lock stop() takes, making stop-then-send impossible.
 	v.closeMu.Lock()
@@ -664,6 +733,7 @@ func (v *View) enqueue(ctx context.Context, steps []incshrink.StepRows) (int, er
 	if d := int(v.depth.Load()); d >= v.reg.cfg.HighWater {
 		v.closeMu.Unlock()
 		v.rejected.Add(int64(len(steps)))
+		v.reg.met.observeRejected(len(steps))
 		return 0, v.busy(d)
 	}
 	select {
@@ -676,6 +746,7 @@ func (v *View) enqueue(ctx context.Context, steps []incshrink.StepRows) (int, er
 		d := int(v.depth.Load())
 		v.closeMu.Unlock()
 		v.rejected.Add(int64(len(steps)))
+		v.reg.met.observeRejected(len(steps))
 		return 0, v.busy(d)
 	}
 	select {
@@ -736,15 +807,18 @@ func (v *View) AdvanceBatch(ctx context.Context, steps []incshrink.StepRows) (in
 // Count answers the standing view-count query. It is served immediately
 // (interleaving with ingestion) rather than queued behind the mailbox.
 func (v *View) Count() (n int, qetSeconds float64) {
+	start := obs.Now()
 	v.mu.Lock()
 	n, qet := v.db.Count()
 	v.mu.Unlock()
 	v.queries.Add(1)
+	v.reg.met.observeQuery(start)
 	return n, qet
 }
 
 // CountWhere answers a filtered count over the materialized view.
 func (v *View) CountWhere(conds ...incshrink.Where) (n int, qetSeconds float64, err error) {
+	start := obs.Now()
 	v.mu.Lock()
 	n, qet, err := v.db.CountWhere(conds...)
 	v.mu.Unlock()
@@ -752,6 +826,7 @@ func (v *View) CountWhere(conds ...incshrink.Where) (n int, qetSeconds float64, 
 		return 0, 0, err
 	}
 	v.queries.Add(1)
+	v.reg.met.observeQuery(start)
 	return n, qet, nil
 }
 
