@@ -34,10 +34,13 @@ lint: fmt vet
 test:
 	$(GO) test ./...
 
-# race exercises the concurrent sweep engine, the serving subsystem, and
-# the engines they fan out.
+# race exercises the concurrent sweep engine, the serving subsystem, the
+# engines they fan out, and the layer-parallel oblivious sort (the
+# workers=1-vs-N determinism tests under -race are the proof that the
+# concurrent layer swaps are race-free).
 race:
 	$(GO) test -race ./internal/runner ./internal/sim ./internal/serve
+	$(GO) test -race ./internal/oblivious ./internal/core
 	$(GO) test -race -run TestDeterministicAcrossWorkerCounts ./internal/experiments
 
 bench:
@@ -72,20 +75,22 @@ bench-batch:
 bench-serve:
 	$(GO) run ./cmd/incshrink-bench -exp serve -views 8 -steps 2000 -batch 8
 
-# bench-diff gates serving/data-plane performance against the committed
-# reports: regenerate fresh reports into a scratch directory and diff them
-# against the checked-in BENCH_*.json — any directional metric (ns/op,
-# latency percentile, throughput) regressing past the threshold fails.
-# Usage: make bench-diff [OLD=BENCH_core.json NEW=BENCH_core.new.json]
-# regenerates and diffs the core report by default; set OLD/NEW to diff any
-# two existing reports without running anything.
+# bench-diff gates data-plane performance against the committed baseline:
+# regenerate a fresh core report and diff it against BENCH_baseline.json —
+# any directional metric (ns/op, allocs/op, speedup) regressing past the
+# threshold fails (CI runs this with a looser threshold to absorb shared-
+# runner noise). To refresh the baseline after an intentional performance
+# change, run `make bench-core` on a quiet machine and copy the result:
+# `cp BENCH_core.json BENCH_baseline.json` (see README).
+# Usage: make bench-diff [OLD=old.json NEW=new.json] diffs any two existing
+# reports without running anything.
 BENCH_DIFF_THRESHOLD ?= 0.25
 bench-diff:
 ifdef OLD
 	$(GO) run ./cmd/incshrink-bench -compare -threshold $(BENCH_DIFF_THRESHOLD) $(OLD) $(NEW)
 else
 	$(GO) run ./cmd/incshrink-bench -exp core -json BENCH_core.new.json
-	$(GO) run ./cmd/incshrink-bench -compare -threshold $(BENCH_DIFF_THRESHOLD) BENCH_core.json BENCH_core.new.json
+	$(GO) run ./cmd/incshrink-bench -compare -threshold $(BENCH_DIFF_THRESHOLD) BENCH_baseline.json BENCH_core.new.json
 	@rm -f BENCH_core.new.json
 endif
 

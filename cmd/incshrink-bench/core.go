@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"incshrink/internal/corebench"
+	"incshrink/internal/mpc"
 )
 
 // The core experiment microbenchmarks the engine's data plane — the
@@ -26,18 +27,43 @@ type CoreOpReport struct {
 	Ops         int     `json:"ops"`
 }
 
+// BatchPoint is one batch size's measurement on the merged deployment.
+type BatchPoint struct {
+	K             int     `json:"k"`
+	NsPerStep     float64 `json:"ns_per_step"`
+	AllocsPerStep int64   `json:"allocs_per_step"`
+	// Speedup is Advance ns/op over NsPerStep (higher is better).
+	Speedup float64 `json:"speedup_vs_advance"`
+	// MergedComparators is the compare-exchange count of the single Batcher
+	// network a k-block merged segment runs; SequentialComparators is the
+	// total for the k per-step networks it replaces. Their ratio is the
+	// superlinear saving the wall-clock speedup realizes.
+	MergedComparators     int `json:"merged_comparators"`
+	SequentialComparators int `json:"sequential_comparators"`
+}
+
 // CoreReport is the machine-readable core data-plane benchmark report.
 type CoreReport struct {
 	Experiment string `json:"experiment"`
 	Deployment string `json:"deployment"`
 
 	Advance CoreOpReport `json:"advance"`
-	// AdvanceBatch8 is the batched ingestion path at batch size 8,
-	// normalized per step (one op = one step, not one 8-step batch), so it
-	// is directly comparable to Advance.
+	// BatchDeployment names the deployment of the batched measurements:
+	// the paper-default engine with window merging on, so AdvanceBatch runs
+	// one coalesced Transform per shrink interval (corebench.MergedDeployment).
+	BatchDeployment string `json:"batch_deployment"`
+	// AdvanceBatch8 is the batched ingestion path at batch size 8 on the
+	// merged deployment, normalized per step (one op = one step, not one
+	// 8-step batch), so it is directly comparable to Advance. It is the k=8
+	// point of BatchCurve.
 	AdvanceBatch8 CoreOpReport `json:"advance_batch8"`
-	Count         CoreOpReport `json:"count"`
-	CountWhere    CoreOpReport `json:"count_where"`
+	// BatchCurve measures AdvanceBatch at several batch sizes on the merged
+	// deployment: wall-clock per step, speedup over Advance, and the
+	// compare-exchange counts that explain it (one Batcher network over the
+	// merged window versus k per-step networks).
+	BatchCurve []BatchPoint `json:"batch_speedup_curve"`
+	Count      CoreOpReport `json:"count"`
+	CountWhere CoreOpReport `json:"count_where"`
 
 	// Baseline is the same benchmark recorded on the pre-refactor
 	// row-oriented engine (commit 5babe3b, this container class), kept in
@@ -106,37 +132,52 @@ func runCore(jsonOut string) error {
 	}
 	rep.Advance = toOpReport(advance)
 
-	const batchK = 8
-	advanceBatch := testing.Benchmark(func(b *testing.B) {
-		db, err := corebench.Open()
-		if err != nil {
-			fail(err)
-			b.SkipNow()
-		}
-		for t := 0; t < 64; t++ {
-			if err := corebench.Step(db, t); err != nil {
+	rep.BatchDeployment = corebench.MergedDeployment
+	for _, k := range []int{1, 8, 32} {
+		batchK := k
+		advanceBatch := testing.Benchmark(func(b *testing.B) {
+			db, err := corebench.OpenMerged()
+			if err != nil {
 				fail(err)
 				b.SkipNow()
 			}
+			for t := 0; t < 64; t++ {
+				if err := corebench.Step(db, t); err != nil {
+					fail(err)
+					b.SkipNow()
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.AdvanceBatch(corebench.Steps(64+batchK*i, batchK)); err != nil {
+					fail(err)
+					b.SkipNow()
+				}
+			}
+		})
+		if stepErr != nil {
+			return stepErr
 		}
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if err := db.AdvanceBatch(corebench.Steps(64+batchK*i, batchK)); err != nil {
-				fail(err)
-				b.SkipNow()
+		// Normalize the k-step batch op to per-step numbers. The comparator
+		// counts assume one segment per batch (k <= T); past that the engine
+		// splits at observation points and the merged count is per segment.
+		pt := BatchPoint{
+			K:                     batchK,
+			NsPerStep:             float64(advanceBatch.T.Nanoseconds()) / float64(advanceBatch.N*batchK),
+			AllocsPerStep:         advanceBatch.AllocsPerOp() / int64(batchK),
+			MergedComparators:     mpc.SortCompareExchanges(corebench.MergedAdapterN(batchK)),
+			SequentialComparators: batchK * mpc.SortCompareExchanges(corebench.MergedAdapterN(1)),
+		}
+		rep.BatchCurve = append(rep.BatchCurve, pt)
+		if batchK == 8 {
+			rep.AdvanceBatch8 = CoreOpReport{
+				NsPerOp:     pt.NsPerStep,
+				AllocsPerOp: advanceBatch.AllocsPerOp() / int64(batchK),
+				BytesPerOp:  advanceBatch.AllocedBytesPerOp() / int64(batchK),
+				Ops:         advanceBatch.N * batchK,
 			}
 		}
-	})
-	if stepErr != nil {
-		return stepErr
-	}
-	// Normalize the 8-step batch op to per-step numbers.
-	rep.AdvanceBatch8 = CoreOpReport{
-		NsPerOp:     float64(advanceBatch.T.Nanoseconds()) / float64(advanceBatch.N*batchK),
-		AllocsPerOp: advanceBatch.AllocsPerOp() / batchK,
-		BytesPerOp:  advanceBatch.AllocedBytesPerOp() / batchK,
-		Ops:         advanceBatch.N * batchK,
 	}
 
 	queryDB, err := corebench.Open()
@@ -185,12 +226,19 @@ func runCore(jsonOut string) error {
 	if rep.AdvanceBatch8.NsPerOp > 0 {
 		rep.BatchPerStepSpeedup = rep.Advance.NsPerOp / rep.AdvanceBatch8.NsPerOp
 	}
+	for i := range rep.BatchCurve {
+		if rep.BatchCurve[i].NsPerStep > 0 {
+			rep.BatchCurve[i].Speedup = rep.Advance.NsPerOp / rep.BatchCurve[i].NsPerStep
+		}
+	}
 
 	fmt.Printf("core: advance %.0f ns/op, %d allocs/op, %d B/op (baseline %d allocs/op, %.0fx fewer)\n",
 		rep.Advance.NsPerOp, rep.Advance.AllocsPerOp, rep.Advance.BytesPerOp,
 		rep.Baseline.Advance.AllocsPerOp, rep.AdvanceAllocsImprovement)
-	fmt.Printf("core: advance-batch8 %.0f ns/step, %d allocs/step (%.2fx per-step speedup)\n",
-		rep.AdvanceBatch8.NsPerOp, rep.AdvanceBatch8.AllocsPerOp, rep.BatchPerStepSpeedup)
+	for _, pt := range rep.BatchCurve {
+		fmt.Printf("core: advance-batch k=%-2d %.0f ns/step, %d allocs/step (%.2fx per-step speedup; %d vs %d comparators)\n",
+			pt.K, pt.NsPerStep, pt.AllocsPerStep, pt.Speedup, pt.MergedComparators, pt.SequentialComparators)
+	}
 	fmt.Printf("core: count %.1f ns/op (%d allocs/op), countWhere %.1f ns/op (%d allocs/op)\n",
 		rep.Count.NsPerOp, rep.Count.AllocsPerOp, rep.CountWhere.NsPerOp, rep.CountWhere.AllocsPerOp)
 

@@ -98,6 +98,11 @@ func TestObsSmoke(t *testing.T) {
 		"incshrink_core_steps_total",
 		"incshrink_mpc_predicted_vs_measured",
 		"incshrink_http_requests_total",
+		"incshrink_core_comparator_cache_hits",
+		"incshrink_core_comparator_cache_misses",
+		"incshrink_core_comparator_cache_pairs",
+		"incshrink_core_sort_parallel_sorts",
+		"incshrink_core_sort_workers",
 	} {
 		if !strings.Contains(string(scrape), family) {
 			t.Errorf("scrape missing family %s", family)

@@ -41,11 +41,16 @@ func BenchmarkAdvance(b *testing.B) {
 }
 
 // BenchmarkAdvanceBatch8 measures the batched ingestion path at batch size
-// 8; ns/op is per step (each iteration applies 8 steps through one
-// AdvanceBatch), directly comparable to BenchmarkAdvance.
+// 8 on the merged deployment (corebench.MergedDeployment — one coalesced
+// Transform per shrink interval); ns/op is per step (each iteration applies
+// 8 steps through one AdvanceBatch), directly comparable to
+// BenchmarkAdvance.
 func BenchmarkAdvanceBatch8(b *testing.B) {
 	const k = 8
-	db := benchOpen(b)
+	db, err := corebench.OpenMerged()
+	if err != nil {
+		b.Fatal(err)
+	}
 	for t := 0; t < 64; t++ { // steady state: pools warm, windows full
 		benchStep(b, db, t)
 	}

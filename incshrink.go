@@ -107,6 +107,15 @@ type Options struct {
 	MaxLeft, MaxRight int
 	// Seed drives all protocol randomness (default 1).
 	Seed int64
+	// MergeWindows makes AdvanceBatch coalesce the upload windows between
+	// two Shrink observation points into one larger Transform — one Batcher
+	// network over the merged window instead of one per step, a superlinear
+	// saving. Counter values at observation points, DP noise draws and view
+	// counts match step-by-step execution on single-contribution streams,
+	// but the simulated cost (which is the point) and the per-invocation
+	// omega truncation granularity differ, so merged runs are not
+	// byte-identical to sequential ones. Default off. See DESIGN.md §12.
+	MergeWindows bool
 }
 
 func (o Options) withDefaults() Options {
@@ -229,6 +238,7 @@ func Open(def ViewDef, opts Options) (*DB, error) {
 	cfg.Theta = opts.Theta
 	cfg.PruneTo = core.PruneBound(cfg, wl)
 	cfg.SpillPerUpdate = core.SpillBound(cfg, wl)
+	cfg.MergeWindows = opts.MergeWindows
 	if err := cfg.Validate(); err != nil {
 		// Everything in cfg derives from the caller's def/opts, so an engine
 		// rejection is a caller mistake (e.g. Budget below Omega).
@@ -316,12 +326,24 @@ func (db *DB) AdvanceBatch(steps []StepRows) error {
 	}
 	// Nothing can fail from here on: allocate IDs in exactly the order k
 	// sequential Advance calls would have (step 0 left, step 0 right,
-	// step 1 left, ...) and hand the whole window to the engine.
+	// step 1 left, ...) and hand the whole window to the engine. All of the
+	// batch's records share one arena sized to the exact total, so the whole
+	// call costs two allocations regardless of k — the capacity is exact,
+	// append never reallocates, and the per-step subslices stay valid.
+	total := 0
+	for _, s := range steps {
+		total += len(s.Left) + len(s.Right)
+	}
+	arena := make([]oblivious.Record, 0, total)
 	wsteps := make([]workload.Step, len(steps))
 	for i, s := range steps {
 		wsteps[i] = workload.Step{T: db.now + i}
-		wsteps[i].Left = db.records(s.Left)
-		wsteps[i].Right = db.records(s.Right)
+		lo := len(arena)
+		arena = db.appendRecords(arena, s.Left)
+		wsteps[i].Left = arena[lo:len(arena):len(arena)]
+		lo = len(arena)
+		arena = db.appendRecords(arena, s.Right)
+		wsteps[i].Right = arena[lo:len(arena):len(arena)]
 	}
 	db.fw.StepBatch(wsteps)
 	db.now += len(steps)
@@ -357,16 +379,21 @@ func validateRows(stream string, rows []Row) error {
 // records assigns stable IDs to pre-validated rows; it must only run after
 // both streams of the step have passed validation.
 func (db *DB) records(rows []Row) []oblivious.Record {
-	out := make([]oblivious.Record, 0, len(rows))
+	return db.appendRecords(make([]oblivious.Record, 0, len(rows)), rows)
+}
+
+// appendRecords is records over a caller-provided arena (AdvanceBatch backs
+// a whole batch with one allocation).
+func (db *DB) appendRecords(dst []oblivious.Record, rows []Row) []oblivious.Record {
 	for _, r := range rows {
 		// The engine's fixed-arity data plane (and the view schema the
 		// queries resolve against) carries exactly {key, time} per stream;
 		// extra attributes do not participate in the view definition and are
 		// dropped here.
-		out = append(out, oblivious.Record{ID: db.nextID, Row: table.Row(r[:workload.StreamArity])})
+		dst = append(dst, oblivious.Record{ID: db.nextID, Row: table.Row(r[:workload.StreamArity])})
 		db.nextID++
 	}
-	return out
+	return dst
 }
 
 // Count answers the standing view count query from the materialized view,

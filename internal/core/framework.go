@@ -41,6 +41,19 @@ type Config struct {
 	// cache receives the raw exhaustively padded join array. This is what
 	// the EP baseline does and what makes it slow.
 	RawDelta bool
+	// MergeWindows enables window merging in StepBatch: upload blocks that
+	// fall between two Shrink observation points are coalesced into ONE
+	// Transform over the merged window — one Batcher network of kn elements
+	// instead of k networks of n, which wins superlinearly because the
+	// network is Theta(n log^2 n). Merging preserves count trajectories on
+	// single-contribution streams and keeps the meter honest (charges follow
+	// SortCompareExchanges of the merged size), but it is NOT byte-identical
+	// to sequential stepping: the merged invocation charges fewer gates,
+	// emits one batch event instead of k, and applies the omega truncation
+	// per merged invocation rather than per block. Leave it off (the
+	// default) where byte-exact equivalence to Step-by-Step execution is the
+	// contract. See DESIGN.md §12.
+	MergeWindows bool
 	// Cost is the MPC cost model.
 	Cost mpc.CostModel
 	// Seed drives all protocol randomness.
@@ -216,6 +229,14 @@ type Framework struct {
 	joinBuf         *oblivious.Buffer
 	deltaBuf        *oblivious.Buffer
 
+	// Window-merging scratch (Config.MergeWindows): the upload blocks
+	// accumulated since the last Shrink observation point and the arena
+	// their pending-right snapshots live in. Blocks never outlive one
+	// StepBatch call — the last step of a batch is always a merge boundary —
+	// so neither field is part of the durable state.
+	mergedBlocks     []uploadBlock
+	mergedRightArena []oblivious.Record
+
 	// Public input caps: the active windows are padded to these sizes so the
 	// Transform input — and therefore its cost and its padded output — is
 	// data-independent.
@@ -361,7 +382,7 @@ func (f *Framework) Step(st workload.Step) {
 	f.shrink.Tick(f, st.T)
 	f.ins.phaseDone("shrink", mpc.OpShrink, shrinkStart, shrinkProbe, f.rt.Meter)
 
-	if f.cfg.FlushEvery > 0 && st.T > 0 && st.T%f.cfg.FlushEvery == 0 {
+	if f.flushDue(st.T) {
 		fetched, lost := f.cache.FlushInto(f.view, f.cfg.FlushSize)
 		f.lostReal += lost
 		f.rt.ObserveFlush(fetched, "flush")
@@ -370,21 +391,101 @@ func (f *Framework) Step(st workload.Step) {
 	f.ins.stepDone(f)
 }
 
-// StepBatch ingests a contiguous run of time steps in one call. It is
-// defined as exactly equivalent to calling Step on every element in order —
-// same counts, same simulated costs, same RNG draws, byte-identical
-// snapshots — and is the engine-side target of batched ingestion
-// (incshrink.DB.AdvanceBatch, the serving layer's mailbox coalescing).
-// The per-step scratch — the framework-owned join/delta buffers, the
-// padding arena and input-window capacity, the memoized sort networks — is
-// warm after the first step, so the batch's marginal steps run off the
-// allocator; the wall-clock win of batching comes from the layers above
-// (one admission, one lock/worker-slot acquisition and one acknowledgment
-// per batch instead of per step).
+// StepBatch ingests a contiguous run of time steps in one call. Without
+// Config.MergeWindows it is defined as exactly equivalent to calling Step on
+// every element in order — same counts, same simulated costs, same RNG
+// draws, byte-identical snapshots — and is the engine-side target of batched
+// ingestion (incshrink.DB.AdvanceBatch, the serving layer's mailbox
+// coalescing). The per-step scratch — the framework-owned join/delta
+// buffers, the padding arena and input-window capacity, the memoized sort
+// networks — is warm after the first step, so the batch's marginal steps run
+// off the allocator.
+//
+// With MergeWindows set, upload blocks between Shrink observation points are
+// coalesced: each segment runs one Transform over the merged window (one
+// kn-element Batcher network instead of k n-element ones). Segment
+// boundaries are exactly the steps where deferral would be visible — the
+// Shrink protocol observes the counter/cache (StepObserver), the independent
+// flush fires, or the batch ends — so counter values at every observation
+// point, all DP noise draws, and the view contents match sequential
+// execution on single-contribution streams. See transformMerged and
+// DESIGN.md §12 for the costs that intentionally differ.
 func (f *Framework) StepBatch(steps []workload.Step) {
-	for i := range steps {
-		f.Step(steps[i])
+	if !f.cfg.MergeWindows {
+		for i := range steps {
+			f.Step(steps[i])
+		}
+		return
 	}
+	f.mergedBlocks = f.mergedBlocks[:0]
+	f.mergedRightArena = f.mergedRightArena[:0]
+	for i := range steps {
+		st := steps[i]
+		f.now = st.T
+		f.rt.SetTime(st.T)
+
+		f.pendingRight = append(f.pendingRight, st.Right...)
+		if f.uploadDue(st.T) {
+			rlo := len(f.mergedRightArena)
+			f.mergedRightArena = append(f.mergedRightArena, f.pendingRight...)
+			f.mergedBlocks = append(f.mergedBlocks, uploadBlock{
+				t: st.T, left: st.Left, rlo: rlo, rhi: len(f.mergedRightArena),
+			})
+			f.pendingRight = f.pendingRight[:0]
+		}
+		// Transform must land before anything at this step can observe its
+		// effect: a Shrink observation, the independent flush, or the end of
+		// the batch (the framework never holds blocks across calls).
+		if len(f.mergedBlocks) > 0 && (f.observesAt(st.T) || f.flushDue(st.T) || i == len(steps)-1) {
+			f.transformMerged(f.mergedBlocks)
+			f.mergedBlocks = f.mergedBlocks[:0]
+			f.mergedRightArena = f.mergedRightArena[:0]
+		}
+
+		shrinkStart, shrinkProbe := f.ins.phaseStart(f.rt.Meter)
+		f.shrink.Tick(f, st.T)
+		f.ins.phaseDone("shrink", mpc.OpShrink, shrinkStart, shrinkProbe, f.rt.Meter)
+
+		if f.flushDue(st.T) {
+			fetched, lost := f.cache.FlushInto(f.view, f.cfg.FlushSize)
+			f.lostReal += lost
+			f.rt.ObserveFlush(fetched, "flush")
+		}
+
+		f.ins.stepDone(f)
+	}
+}
+
+// uploadBlock is one step's upload captured for window merging: the step
+// time, the left upload, and the span of the pending-right arena holding the
+// public-relation arrivals that accumulated up to it. inLeft/inRight spans
+// are filled by transformMerged once the merged input is built, so the
+// retain pass can walk blocks newest-first.
+type uploadBlock struct {
+	t         int
+	left      []oblivious.Record
+	rlo, rhi  int // f.mergedRightArena span
+	inLeftLo  int // merged f.inLeft span (set by transformMerged)
+	inLeftHi  int
+	inRightLo int // merged f.inRight span (set by transformMerged)
+	inRightHi int
+}
+
+// observesAt reports whether the Shrink protocol will look at the counter or
+// the cache at step t. Protocols that don't declare their observation
+// schedule (StepObserver) are assumed to observe every step, which
+// degenerates window merging to per-step transforms — correct, just not
+// faster.
+func (f *Framework) observesAt(t int) bool {
+	if so, ok := f.shrink.(StepObserver); ok {
+		return so.ObservesAt(f, t)
+	}
+	return true
+}
+
+// flushDue reports whether the independent cache flush fires at step t.
+func (f *Framework) flushDue(t int) bool {
+	return f.cfg.FlushEvery > 0 && t > 0 && t%f.cfg.FlushEvery == 0
 }
 
 // uploadDue reports whether the owners' schedule ships a (possibly empty,
@@ -496,6 +597,176 @@ func (f *Framework) transform(newLeft, newRight []oblivious.Record) {
 	f.ins.phaseDone("transform", mpc.OpTransform, start, probe, f.rt.Meter)
 }
 
+// transformMerged is the window-merged Transform: one protocol invocation
+// over every upload block of a segment. Relative to k sequential transforms
+// it is semantically the per-merged-invocation variant of Algorithm 1:
+//
+//   - One sort-merge join over the k*MaxLeft (+caps) merged input — the
+//     meter's ChargeSort follows SortCompareExchanges of the merged adapter
+//     size, so the superlinear saving is priced, not hidden.
+//   - The omega truncation bounds each record's contribution per MERGED
+//     invocation, not per block; on streams where a record's pairs all land
+//     in one block (multiplicity-1 workloads like the corebench stream) the
+//     produced pair set is identical to sequential.
+//   - The cardinality counter is re-shared once per covered block — all k
+//     reshares carrying the final cumulative count — so the RNG stream and
+//     the counter value at every observation point line up exactly with
+//     sequential execution (no Shrink observation can occur inside a
+//     segment, by construction of the boundaries).
+//   - Budgets age identically: the retain pass walks each record over every
+//     block it would have been input to, consuming omega per block and
+//     applying the temporal-window check at that block's time, reproducing
+//     the sequential budget and arrival maps including death order.
+//   - transforms counts one invocation, and one batch event is emitted for
+//     the merged delta (transcript shape differs from sequential; the
+//     security argument is unchanged because the merged sizes are public
+//     functions of k and the deployment).
+func (f *Framework) transformMerged(blocks []uploadBlock) {
+	start, probe := f.ins.phaseStart(f.rt.Meter)
+	f.transforms++
+	k := len(blocks)
+
+	for bi := range blocks {
+		b := &blocks[bi]
+		for _, r := range b.left {
+			f.leftBudget.Register(r.ID)
+			f.leftSince[r.ID] = b.t
+		}
+		for _, r := range f.mergedRightArena[b.rlo:b.rhi] {
+			f.rightBudget.Register(r.ID)
+			f.rightSince[r.ID] = b.t
+		}
+	}
+
+	padStart := f.ins.now()
+	f.padRows.Reset()
+	f.padRows.Grow(k*(f.wl.MaxLeft+f.wl.MaxRight) + f.activeLeftCap + f.activeRightCap)
+
+	// Merged input: every block padded to its public block size (pads carry
+	// the block's arrival time, as they would sequentially), then the active
+	// windows — the state from before the segment — padded to their caps.
+	f.inLeft = f.inLeft[:0]
+	for bi := range blocks {
+		b := &blocks[bi]
+		b.inLeftLo = len(f.inLeft)
+		f.inLeft = append(f.inLeft, b.left...)
+		for len(f.inLeft) < b.inLeftLo+f.wl.MaxLeft {
+			f.inLeft = append(f.inLeft, f.newPadRecordAt(b.t))
+		}
+		b.inLeftHi = len(f.inLeft)
+	}
+	nLeft := len(f.inLeft)
+	f.inLeft = f.appendPaddedActive(f.inLeft, f.activeLeft, f.activeLeftCap)
+
+	f.inRight = f.inRight[:0]
+	for bi := range blocks {
+		b := &blocks[bi]
+		b.inRightLo = len(f.inRight)
+		f.inRight = append(f.inRight, f.mergedRightArena[b.rlo:b.rhi]...)
+		if !f.wl.RightPublic {
+			for len(f.inRight) < b.inRightLo+f.wl.MaxRight {
+				f.inRight = append(f.inRight, f.newPadRecordAt(b.t))
+			}
+		}
+		b.inRightHi = len(f.inRight)
+	}
+	nRight := len(f.inRight)
+	f.inRight = f.appendPaddedActive(f.inRight, f.activeRight, f.activeRightCap)
+	f.ins.observePad(padStart)
+
+	clear(f.newIDs)
+	for _, r := range f.inLeft[:nLeft] {
+		f.newIDs[r.ID] = true
+	}
+	for _, r := range f.inRight[:nRight] {
+		f.newIDs[r.ID] = true
+	}
+
+	joined := f.joinBuf
+	joined.Reset()
+	f.truncatedJoinInto(joined, f.inLeft, f.inRight)
+
+	delta := joined
+	if cap := f.deltaCap(nLeft, nRight); cap > 0 {
+		f.overflow.AppendAll(joined)
+		delta = f.deltaBuf
+		delta.Reset()
+		next := oblivious.GetBuffer(workload.JoinArity)
+		oblivious.TightCompactInto(f.overflow, cap, delta, next, f.rt.Meter, mpc.OpTransform, tupleBits)
+		f.overflow.Release()
+		f.overflow = next
+	}
+
+	// Alg. 1 lines 4-6 for the whole segment: one reshare per covered block
+	// so the joint-randomness stream advances exactly as it would have
+	// sequentially; every reshare carries the final count, which is the only
+	// value any later observation can see.
+	newReal := delta.Real()
+	c, err := f.rt.RecoverInside(counterKey)
+	if err != nil {
+		panic("core: counter share lost: " + err.Error())
+	}
+	total := c + uint32(newReal)
+	for range blocks {
+		f.rt.ShareToServers(counterKey, total)
+	}
+	f.created += newReal
+
+	f.cache.Append(delta)
+	f.rt.ObserveBatch(delta.Len(), "transform")
+
+	// Rebuild the active windows in sequential order — newest block first,
+	// then the pre-segment actives — walking each record's budget over every
+	// block it participated in.
+	f.activeLeft = f.activeLeft[:0]
+	for bi := k - 1; bi >= 0; bi-- {
+		b := &blocks[bi]
+		f.activeLeft = f.mergedRetain(f.activeLeft, f.inLeft[b.inLeftLo:b.inLeftHi], f.leftBudget, f.leftSince, blocks)
+	}
+	f.activeLeft = f.mergedRetain(f.activeLeft, f.inLeft[nLeft:], f.leftBudget, f.leftSince, blocks)
+
+	f.activeRight = f.activeRight[:0]
+	for bi := k - 1; bi >= 0; bi-- {
+		b := &blocks[bi]
+		f.activeRight = f.mergedRetain(f.activeRight, f.inRight[b.inRightLo:b.inRightHi], f.rightBudget, f.rightSince, blocks)
+	}
+	f.activeRight = f.mergedRetain(f.activeRight, f.inRight[nRight:], f.rightBudget, f.rightSince, blocks)
+
+	f.ins.phaseDone("transform", mpc.OpTransform, start, probe, f.rt.Meter)
+}
+
+// mergedRetain is retainAlive for a merged segment: each record consumes
+// omega for every block from its arrival onward and must stay inside the
+// temporal window at each of those block times — exactly the per-step
+// consume-then-check sequence retainAlive would have run, so budgets, death
+// steps and the arrival map come out identical to sequential execution.
+func (f *Framework) mergedRetain(out, in []oblivious.Record, bt *BudgetTracker, since map[int64]int, blocks []uploadBlock) []oblivious.Record {
+	for _, r := range in {
+		if r.ID < 0 {
+			continue // upload padding never persists
+		}
+		arrived, ok := since[r.ID]
+		alive := ok
+		if alive {
+			for bi := range blocks {
+				if blocks[bi].t < arrived {
+					continue
+				}
+				if !bt.Consume(r.ID, f.cfg.Omega) || int64(blocks[bi].t-arrived) > f.wl.Within {
+					alive = false
+					break
+				}
+			}
+		}
+		if alive {
+			out = append(out, r)
+		} else {
+			delete(since, r.ID)
+		}
+	}
+	return out
+}
+
 // truncatedJoinInto runs the omega-truncated oblivious sort-merge join over
 // the inputs into dst, keeping only pairs involving at least one new record
 // (pairs between two previously seen records were emitted by an earlier
@@ -543,7 +814,14 @@ func (f *Framework) padTo(rs []oblivious.Record, size int) []oblivious.Record {
 // Padding records never outlive the invocation: retainAlive drops them
 // before the arena is reset.
 func (f *Framework) newPadRecord() oblivious.Record {
-	f.padRows.AppendRow(table.Row{f.dummyID, int64(f.now)})
+	return f.newPadRecordAt(f.now)
+}
+
+// newPadRecordAt mints a padding record stamped with an explicit arrival
+// step — in a merged transform, each block's pads carry that block's time,
+// just as they would have sequentially.
+func (f *Framework) newPadRecordAt(t int) oblivious.Record {
+	f.padRows.AppendRow(table.Row{f.dummyID, int64(t)})
 	r := oblivious.Record{ID: f.dummyID, Row: f.padRows.Row(f.padRows.Rows() - 1)}
 	f.dummyID--
 	return r

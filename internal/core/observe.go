@@ -2,6 +2,7 @@ package core
 
 import (
 	"incshrink/internal/mpc"
+	"incshrink/internal/oblivious"
 	"incshrink/internal/obs"
 )
 
@@ -28,7 +29,7 @@ func phaseBuckets() []float64 { return obs.ExpBuckets(1e-6, 4, 14) }
 // NewInstrumentSet registers the core and mpc families on r. Registration
 // is idempotent, so several sets over one registry share series.
 func NewInstrumentSet(r *obs.Registry) *InstrumentSet {
-	return &InstrumentSet{
+	s := &InstrumentSet{
 		phaseSeconds: r.HistogramVec("incshrink_core_phase_seconds",
 			"wall time per engine phase (transform, shrink, pad, query)", phaseBuckets(), "view", "phase"),
 		windowSize: r.GaugeVec("incshrink_core_window_records",
@@ -45,6 +46,43 @@ func NewInstrumentSet(r *obs.Registry) *InstrumentSet {
 			"predicate-count queries answered", "view"),
 		cost: mpc.NewCostObserver(r),
 	}
+	registerSortGauges(r)
+	return s
+}
+
+// registerSortGauges exports the process-wide comparator-network cache and
+// sort-layer-parallelism levels of internal/oblivious. The values are
+// snapshotted from the package atomics at gather time (OnGather), so the
+// ~32 MiB pair budget and the parallel path's engagement are observable on
+// /metrics under real multi-tenant load. Gauge registration is idempotent;
+// a duplicate hook from a second InstrumentSet just re-Sets the same
+// snapshot, which is harmless.
+func registerSortGauges(r *obs.Registry) {
+	cacheHits := r.Gauge("incshrink_core_comparator_cache_hits",
+		"sorts that replayed a memoized comparator network")
+	cacheMisses := r.Gauge("incshrink_core_comparator_cache_misses",
+		"sorts that enumerated their comparator network")
+	cacheEvictions := r.Gauge("incshrink_core_comparator_cache_evictions",
+		"enumerated networks not retained (pair budget or size cap)")
+	cachePairs := r.Gauge("incshrink_core_comparator_cache_pairs",
+		"comparator pairs currently retained across all cached networks")
+	parSorts := r.Gauge("incshrink_core_sort_parallel_sorts",
+		"sorts that took the layer-parallel execution path")
+	parLayers := r.Gauge("incshrink_core_sort_parallel_layers",
+		"comparator layers executed across multiple goroutines")
+	workers := r.Gauge("incshrink_core_sort_workers",
+		"configured sort worker bound (-sort-workers)")
+	r.OnGather(func() {
+		h, m, e, p := oblivious.CacheStats()
+		cacheHits.Set(float64(h))
+		cacheMisses.Set(float64(m))
+		cacheEvictions.Set(float64(e))
+		cachePairs.Set(float64(p))
+		s, l := oblivious.ParallelSortStats()
+		parSorts.Set(float64(s))
+		parLayers.Set(float64(l))
+		workers.Set(float64(oblivious.SortWorkersSetting()))
+	})
 }
 
 // ForView resolves the label children for one hosted view.

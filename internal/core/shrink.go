@@ -16,6 +16,18 @@ type Shrinker interface {
 	Name() string
 }
 
+// StepObserver is an optional Shrinker refinement declaring the protocol's
+// observation schedule: ObservesAt reports whether Tick at step t will read
+// the cardinality counter or the cache. Window merging (Config.MergeWindows)
+// uses it to find the steps where deferred Transforms would become visible;
+// protocols that don't implement it are treated as observing every step,
+// which keeps merging correct but degenerate. The declaration must be
+// conservative — claiming "no observation" at a step where Tick does look
+// would let merging change what the protocol sees.
+type StepObserver interface {
+	ObservesAt(f *Framework, t int) bool
+}
+
 // Timer is the sDPTimer protocol of Algorithm 2: every T time steps,
 // recover the cardinality counter inside the protocol, distort it with
 // jointly generated Laplace(b/eps) noise, fetch that many slots from the
@@ -37,6 +49,12 @@ func (s *Timer) Init(f *Framework) {
 	if s.T < 1 {
 		s.T = 1
 	}
+}
+
+// ObservesAt implements StepObserver: sDPTimer touches the counter and the
+// cache only on its T-step schedule — precisely Tick's early-return guard.
+func (s *Timer) ObservesAt(_ *Framework, t int) bool {
+	return t != 0 && t%s.T == 0
 }
 
 // Tick implements Shrinker.

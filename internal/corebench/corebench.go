@@ -11,6 +11,13 @@ import "incshrink"
 // (recorded in BENCH_core.json).
 const Deployment = "ViewDef{Within:10} Options{Epsilon:1.5,T:10,Seed:1}, 3 left + 1 right rows/step"
 
+// MergedDeployment is Deployment with window merging on — the batched
+// benchmarks run it so AdvanceBatch exercises the coalesced Transform path.
+// On this stream every key pairs exactly once, so the merged run's counts
+// match the sequential run's; the simulated MPC cost (intentionally) does
+// not — that saving is what batch_per_step_speedup measures.
+const MergedDeployment = Deployment + " +MergeWindows"
+
 // Open opens the paper-default deployment.
 func Open() (*incshrink.DB, error) {
 	return incshrink.Open(
@@ -18,6 +25,23 @@ func Open() (*incshrink.DB, error) {
 		incshrink.Options{Epsilon: 1.5, T: 10, Seed: 1},
 	)
 }
+
+// OpenMerged opens the paper-default deployment with window merging enabled.
+func OpenMerged() (*incshrink.DB, error) {
+	return incshrink.Open(
+		incshrink.ViewDef{Within: 10},
+		incshrink.Options{Epsilon: 1.5, T: 10, Seed: 1, MergeWindows: true},
+	)
+}
+
+// MergedAdapterN is the truncated-join adapter size of one merged segment
+// covering k upload blocks at this deployment: each side carries k blocks
+// padded to the public block size (MaxLeft = MaxRight = 32) plus the active
+// window padded to its cap of 9 blocks (records participate in at most
+// min(budget/omega, Within/UploadEvery+1) = 10 Transform invocations, the
+// upload plus 9 carried). TestMergedAdapterNMatchesMeter pins this closed
+// form against the engine's actual meter charges.
+func MergedAdapterN(k int) int { return 2 * (32*k + 9*32) }
 
 // Step advances db one step with the deterministic synthetic upload: three
 // left rows and one right row joining the first of them within the window.
@@ -28,17 +52,37 @@ func Step(db *incshrink.DB, t int) error {
 	return db.Advance(left, right)
 }
 
+// rowsPerStep is the stream's fixed shape: three left rows and one right
+// row, each {key, time}.
+const (
+	leftPerStep  = 3
+	rightPerStep = 1
+	rowInts      = 2
+)
+
 // Steps builds n contiguous steps of the same stream starting at time t0 —
 // the AdvanceBatch form of Step, so the batched benchmarks ingest the
-// identical workload.
+// identical workload. The whole batch is backed by three allocations (the
+// step list, one row-header arena, one value arena) so the batched
+// benchmarks measure the engine, not the workload generator.
 func Steps(t0, n int) []incshrink.StepRows {
 	out := make([]incshrink.StepRows, n)
+	rows := make([]incshrink.Row, 0, n*(leftPerStep+rightPerStep))
+	vals := make([]int64, 0, n*(leftPerStep+rightPerStep)*rowInts)
+	row := func(a, b int64) {
+		vals = append(vals, a, b)
+		rows = append(rows, incshrink.Row(vals[len(vals)-rowInts:len(vals):len(vals)]))
+	}
 	for i := range out {
 		k := int64(t0 + i)
-		out[i] = incshrink.StepRows{
-			Left:  []incshrink.Row{{3 * k, k}, {3*k + 1, k}, {3*k + 2, k}},
-			Right: []incshrink.Row{{3 * k, k + 2}},
-		}
+		lo := len(rows)
+		row(3*k, k)
+		row(3*k+1, k)
+		row(3*k+2, k)
+		out[i].Left = rows[lo : lo+leftPerStep : lo+leftPerStep]
+		lo = len(rows)
+		row(3*k, k+2)
+		out[i].Right = rows[lo : lo+rightPerStep : lo+rightPerStep]
 	}
 	return out
 }

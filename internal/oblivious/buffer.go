@@ -413,11 +413,24 @@ func SortBuffer(b *Buffer, less LessAt, meter *mpc.Meter, op mpc.Op, tupleBits i
 	for i := 0; i < n; i++ {
 		perm = append(perm, int32(i))
 	}
-	forEachComparator(n, func(i, j int) {
-		if less(b, int(perm[j]), int(perm[i])) {
-			perm[i], perm[j] = perm[j], perm[i]
-		}
-	})
+	// Separate closure literals per branch keep the serial one off the heap
+	// (see parallelEligible). The parallel branch captures a rebound,
+	// never-reassigned slice so the escaping closure doesn't drag the perm
+	// variable itself onto the heap for serial sorts.
+	if parallelEligible(n) {
+		pm := perm
+		forEachComparatorParallel(n, func(i, j int) {
+			if less(b, int(pm[j]), int(pm[i])) {
+				pm[i], pm[j] = pm[j], pm[i]
+			}
+		})
+	} else {
+		forEachComparator(n, func(i, j int) {
+			if less(b, int(perm[j]), int(perm[i])) {
+				perm[i], perm[j] = perm[j], perm[i]
+			}
+		})
+	}
 	b.applyPerm(perm)
 	*pp = perm[:0]
 	permPool.Put(pp)

@@ -25,6 +25,11 @@ type MatchFunc func(left, right Record) bool
 // windows of the truncated joins.
 var intsPool = sync.Pool{New: func() any { s := make([]int, 0, 256); return &s }}
 
+// byKeyThenTag is the join adapter's sort order, hoisted to package level so
+// the steady-state join path does not re-allocate the comparator closure on
+// every invocation (SortBuffer may retain it while parallel layers run).
+var byKeyThenTag = ByColumnAt(0, 1)
+
 // getInts borrows a zeroed int slice of length n.
 func getInts(n int) *[]int {
 	p := intsPool.Get().(*[]int)
@@ -95,7 +100,7 @@ func TruncatedSortMergeJoinInto(dst *Buffer, t1, t2 []Record, key1, key2 int, ma
 	// Oblivious sort of the union on (key, tag), charged at the real network
 	// cost for the wider input side plus the key column.
 	tupleBits := 64 * (max(recArity(t1), recArity(t2)) + 1)
-	SortBuffer(adapter, ByColumnAt(0, 1), meter, op, tupleBits)
+	SortBuffer(adapter, byKeyThenTag, meter, op, tupleBits)
 
 	// Per-record contribution counters for this invocation.
 	contrib1p, contrib2p := getInts(len(t1)), getInts(len(t2))

@@ -52,6 +52,11 @@ type CreateRequest struct {
 	MaxLeft     int     `json:"max_left,omitempty"`
 	MaxRight    int     `json:"max_right,omitempty"`
 	Seed        int64   `json:"seed,omitempty"`
+	// MergeWindows enables window-merged batched ingestion for this view
+	// (incshrink.Options.MergeWindows): cheaper batches, same counts on
+	// single-contribution streams, but not byte-identical replay against
+	// step-by-step execution.
+	MergeWindows bool `json:"merge_windows,omitempty"`
 }
 
 // AdvanceRequest carries one time step of uploads; each row is
@@ -215,14 +220,15 @@ func NewHandler(reg *Registry) http.Handler {
 				RightPublic: req.RightPublic,
 			},
 			incshrink.Options{
-				Epsilon:     req.Epsilon,
-				Protocol:    proto,
-				T:           req.T,
-				Theta:       req.Theta,
-				UploadEvery: req.UploadEvery,
-				MaxLeft:     req.MaxLeft,
-				MaxRight:    req.MaxRight,
-				Seed:        req.Seed,
+				Epsilon:      req.Epsilon,
+				Protocol:     proto,
+				T:            req.T,
+				Theta:        req.Theta,
+				UploadEvery:  req.UploadEvery,
+				MaxLeft:      req.MaxLeft,
+				MaxRight:     req.MaxRight,
+				Seed:         req.Seed,
+				MergeWindows: req.MergeWindows,
 			})
 		if err != nil {
 			writeError(w, statusFor(err), err)

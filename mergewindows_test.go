@@ -1,0 +1,195 @@
+package incshrink_test
+
+import (
+	"bytes"
+	"testing"
+
+	"incshrink"
+	"incshrink/internal/corebench"
+	"incshrink/internal/mpc"
+	"incshrink/internal/oblivious"
+)
+
+// TestAdvanceBatchStepAllocs pins the batched-ingestion allocation contract:
+// a steady-state AdvanceBatch must allocate no more per covered step than a
+// steady-state Advance — the record arena is one sized allocation per batch,
+// so the batched path amortizes while the sequential path pays per call.
+func TestAdvanceBatchStepAllocs(t *testing.T) {
+	warm := func() *incshrink.DB {
+		db, err := corebench.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 64; s++ {
+			if err := corebench.Step(db, s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return db
+	}
+
+	const rounds = 50
+	seq := warm()
+	st := 64
+	single := testing.AllocsPerRun(rounds, func() {
+		if err := corebench.Step(seq, st); err != nil {
+			t.Fatal(err)
+		}
+		st++
+	})
+
+	const k = 8
+	bat := warm()
+	batches := make([][]incshrink.StepRows, rounds+1) // workload built outside the measurement
+	for i := range batches {
+		batches[i] = corebench.Steps(64+k*i, k)
+	}
+	bi := 0
+	perStep := testing.AllocsPerRun(rounds, func() {
+		if err := bat.AdvanceBatch(batches[bi]); err != nil {
+			t.Fatal(err)
+		}
+		bi++
+	}) / k
+
+	if perStep > single {
+		t.Fatalf("batched ingestion allocates %.2f/step, sequential %.2f/step: batching must not cost more", perStep, single)
+	}
+}
+
+// bigOpts is a deployment whose merged upload windows exceed the parallel
+// sort cutoff, so batched ingestion actually exercises the layer-parallel
+// Batcher executor (the corebench deployment's sorts stay below it).
+func bigOpts() (incshrink.ViewDef, incshrink.Options) {
+	return incshrink.ViewDef{Within: 10},
+		incshrink.Options{Epsilon: 1.5, T: 10, Seed: 1, MaxLeft: 128, MaxRight: 32, MergeWindows: true}
+}
+
+// TestSortWorkersSnapshotIdentical: the full durability snapshot — arenas,
+// budgets, RNG positions, cost meter — must be byte-identical at any
+// -sort-workers value, on a deployment large enough that the parallel
+// executor engages. This is the end-to-end form of the oblivious-layer
+// determinism tests.
+func TestSortWorkersSnapshotIdentical(t *testing.T) {
+	run := func(workers int) []byte {
+		oblivious.SetSortWorkers(workers)
+		defer oblivious.SetSortWorkers(1)
+		def, opts := bigOpts()
+		db, err := incshrink.Open(def, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for lo := 0; lo < 40; lo += 8 {
+			if err := db.AdvanceBatch(corebench.Steps(lo, 8)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := db.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4} {
+		if !bytes.Equal(serial, run(workers)) {
+			t.Fatalf("snapshot at sort-workers=%d differs from serial: parallel sort must be byte-deterministic", workers)
+		}
+	}
+}
+
+// TestMergedCountsMatchSequential checks the public-API contract of
+// Options.MergeWindows on the corebench stream (every key pairs exactly
+// once): query answers match sequential ingestion at every batch boundary
+// while the simulated transform cost drops.
+func TestMergedCountsMatchSequential(t *testing.T) {
+	seq, err := corebench.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrg, err := corebench.OpenMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < 60; lo += 10 {
+		steps := corebench.Steps(lo, 10)
+		if err := seq.AdvanceBatch(steps); err != nil {
+			t.Fatal(err)
+		}
+		if err := mrg.AdvanceBatch(steps); err != nil {
+			t.Fatal(err)
+		}
+		ns, _ := seq.Count()
+		nm, _ := mrg.Count()
+		if ns != nm {
+			t.Fatalf("after step %d: sequential count %d, merged count %d", lo+9, ns, nm)
+		}
+	}
+	if st, mt := seq.Stats().TransformSeconds, mrg.Stats().TransformSeconds; mt >= st {
+		t.Fatalf("merged transform cost %.3fs not below sequential %.3fs", mt, st)
+	}
+}
+
+// TestMergedAdapterNMatchesMeter pins corebench.MergedAdapterN — the closed
+// form behind the comparator counts reported in BENCH_core.json — against
+// the engine's actual meter: one 10-step batch at the merged deployment is
+// one segment (T=10, no observation before t=10), and its transform charge
+// must be exactly the Batcher network over MergedAdapterN(10) tuples plus
+// the two linear passes (join emit, tight compaction) over the
+// omega-bounded output.
+func TestMergedAdapterNMatchesMeter(t *testing.T) {
+	db, err := corebench.OpenMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AdvanceBatch(corebench.Steps(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	model := mpc.DefaultCostModel()
+	n := corebench.MergedAdapterN(10)
+	const sortBits, rowBits = 64 * 3, 64 * 4 // (key, tag) over a stream row; a view row
+	gates := float64(mpc.SortCompareExchanges(n))*sortBits*model.ANDGatesPerCompareExchangeBit +
+		float64(n)*rowBits*model.ANDGatesPerScanBit + // join emit (omega=1 slot per adapter tuple)
+		float64(2*n)*rowBits*model.ANDGatesPerScanBit // tight compaction
+	want := gates / model.GatesPerSecond
+	got := db.Stats().TransformSeconds
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("merged transform charged %.9fs, closed form says %.9fs (adapter %d)", got, want, n)
+	}
+}
+
+// TestMergedSnapshotRoundTrip: Options.MergeWindows survives the durability
+// codec — a restored merged database continues byte-identically to the
+// original, still coalescing windows.
+func TestMergedSnapshotRoundTrip(t *testing.T) {
+	db, err := corebench.OpenMerged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AdvanceBatch(corebench.Steps(0, 16)); err != nil {
+		t.Fatal(err)
+	}
+	var a bytes.Buffer
+	if err := db.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := incshrink.Restore(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*incshrink.DB{db, restored} {
+		if err := d.AdvanceBatch(corebench.Steps(16, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ob, rb bytes.Buffer
+	if err := db.Snapshot(&ob); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Snapshot(&rb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ob.Bytes(), rb.Bytes()) {
+		t.Fatal("restored merged database diverged from the original after further batches")
+	}
+}

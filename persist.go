@@ -47,6 +47,7 @@ func (db *DB) Snapshot(w io.Writer) error {
 	enc.Int(db.opts.MaxLeft)
 	enc.Int(db.opts.MaxRight)
 	enc.I64(db.opts.Seed)
+	enc.Bool(db.opts.MergeWindows)
 
 	enc.Int(db.now)
 	enc.I64(db.nextID)
@@ -83,6 +84,7 @@ func Restore(r io.Reader) (*DB, error) {
 	opts.MaxLeft = dec.Int()
 	opts.MaxRight = dec.Int()
 	opts.Seed = dec.I64()
+	opts.MergeWindows = dec.Bool()
 
 	now := dec.Int()
 	nextID := dec.I64()
