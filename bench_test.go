@@ -87,7 +87,7 @@ func BenchmarkFigure9(b *testing.B) { benchFigure(b, experiments.Figure9) }
 // scale error against the analytic Laplace median, versus the float64
 // baseline sampler below.
 func BenchmarkAblationNoiseJoint(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(1)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	abs := make([]float64, 0, b.N)
 	for i := 0; i < b.N; i++ {
 		v := dp.LaplaceFromWords(1.0, rng.Uint32(), rng.Uint32())
@@ -104,7 +104,7 @@ func BenchmarkAblationNoiseJoint(b *testing.B) {
 // comparison point showing the 32-bit fixed-point discretization costs
 // nothing measurable in distribution quality.
 func BenchmarkAblationNoiseFloat(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(1)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	abs := make([]float64, 0, b.N)
 	for i := 0; i < b.N; i++ {
 		u := rng.Float64()
@@ -187,7 +187,7 @@ func BenchmarkAblationTruncateNLJ(b *testing.B) {
 }
 
 func ablationTables(n int) (t1, t2 []oblivious.Record) {
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(7)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	for i := 0; i < n; i++ {
 		t1 = append(t1, oblivious.Record{ID: int64(i), Row: table.Row{int64(rng.Intn(n / 4)), int64(i)}})
 		t2 = append(t2, oblivious.Record{ID: int64(n + i), Row: table.Row{int64(rng.Intn(n / 4)), int64(i)}})
@@ -220,7 +220,7 @@ func BenchmarkAblationSortStdlib(b *testing.B) {
 }
 
 func ablationEntries(n int) []oblivious.Entry {
-	rng := rand.New(rand.NewSource(9))
+	rng := rand.New(rand.NewSource(9)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	es := make([]oblivious.Entry, n)
 	for i := range es {
 		es[i] = oblivious.Entry{Row: table.Row{int64(i)}, IsView: rng.Intn(2) == 0}

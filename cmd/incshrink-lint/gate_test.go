@@ -1,0 +1,152 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLintGate proves the lint gate actually gates: seeding a
+// secret-dependent branch into internal/oblivious trips oblivtaint, and
+// an unjoined go statement in internal/serve trips goleak — each makes
+// `go vet -vettool=incshrink-lint` exit nonzero, exactly as `make lint`
+// runs it. The unmodified tree is the control. This is the same
+// defence-in-depth pin the detclock analyzer got when it landed (a
+// smuggled time.Now must fail CI, not just a unit test over fixtures).
+func TestLintGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool and recompiles the module; skipping in -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+
+	moduleRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool := filepath.Join(t.TempDir(), "incshrink-lint")
+	build := exec.Command(goBin, "build", "-o", tool, ".")
+	build.Dir = filepath.Join(moduleRoot, "cmd", "incshrink-lint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vettool: %v\n%s", err, out)
+	}
+
+	cases := []struct {
+		name     string
+		file     string // module-relative file to append to
+		inject   string // source appended verbatim
+		pkg      string // package argument for go vet
+		analyzer string // expected analyzer name in the failure output
+	}{
+		{
+			name: "control",
+			pkg:  "./internal/oblivious ./internal/serve",
+		},
+		{
+			name: "oblivtaint catches seeded secret branch",
+			file: "internal/oblivious/sort.go",
+			inject: `
+func lintGateSecretBranch(b *Buffer, i int) int {
+	if b.IsReal(i) {
+		return 1
+	}
+	return 0
+}
+`,
+			pkg:      "./internal/oblivious",
+			analyzer: "oblivtaint",
+		},
+		{
+			name: "goleak catches seeded unjoined goroutine",
+			file: "internal/serve/serve.go",
+			inject: `
+func lintGateSpawn(f func()) {
+	go f()
+}
+`,
+			pkg:      "./internal/serve",
+			analyzer: "goleak",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := copyModule(t, moduleRoot)
+			if tc.file != "" {
+				target := filepath.Join(root, filepath.FromSlash(tc.file))
+				f, err := os.OpenFile(target, os.O_APPEND|os.O_WRONLY, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.WriteString(tc.inject); err != nil {
+					t.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			args := append([]string{"vet", "-vettool=" + tool, "-tests", "-unusedallow"},
+				strings.Fields(tc.pkg)...)
+			vet := exec.Command(goBin, args...)
+			vet.Dir = root
+			out, err := vet.CombinedOutput()
+
+			if tc.analyzer == "" {
+				if err != nil {
+					t.Fatalf("clean tree must pass the gate, got: %v\n%s", err, out)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("seeded violation in %s must fail the gate, but go vet exited 0\n%s", tc.file, out)
+			}
+			if !strings.Contains(string(out), tc.analyzer) {
+				t.Fatalf("gate failed but not via %s:\n%s", tc.analyzer, out)
+			}
+		})
+	}
+}
+
+// copyModule clones the module source tree into a temp dir so each case
+// can mutate it freely. VCS metadata and built binaries are skipped; the
+// analyzer fixtures under testdata ride along but are never compiled.
+func copyModule(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			return nil
+		}
+		base := d.Name()
+		if d.IsDir() {
+			if base == ".git" || base == "bin" {
+				return filepath.SkipDir
+			}
+			return os.MkdirAll(filepath.Join(dst, rel), 0o755)
+		}
+		if !d.Type().IsRegular() {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(dst, rel), data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}

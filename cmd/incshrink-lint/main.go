@@ -1,6 +1,7 @@
 // Command incshrink-lint is the multichecker for incshrink's determinism
-// analyzers (detclock, rngdraw, maporder, poolsteal — see
-// internal/analysis). It is usable two ways:
+// and obliviousness analyzers (detclock, rngdraw, maporder, poolsteal,
+// oblivtaint, goleak, atomicmix — see internal/analysis). It is usable
+// two ways:
 //
 // Standalone, over the whole module (the make-lint entry point):
 //
@@ -10,8 +11,10 @@
 //
 //	go vet -vettool=$(command -v incshrink-lint) ./...
 //
-// Analyzers are enabled with -detclock, -rngdraw, -maporder, -poolsteal
-// (all on by default) and scoped with -detclock.exclude / -rngdraw.pkgs.
+// Analyzers are enabled with -detclock, -rngdraw, -maporder, -poolsteal,
+// -oblivtaint, -goleak, -atomicmix (all on by default) and scoped with
+// -detclock.exclude / -rngdraw.pkgs / -oblivtaint.pkgs /
+// -oblivtaint.sanction / -goleak.exclude.
 // Intentional violations are annotated in source with
 // `//lint:allow <analyzer> <reason>`; the reason is mandatory.
 package main
@@ -39,6 +42,12 @@ func main() {
 		"comma-separated module-relative package prefixes allowed to read the wall clock (the math/rand ban still applies)")
 	rngdrawPkgs := flag.String("rngdraw.pkgs", encodePkgList(analysis.RNGDrawPackages),
 		"comma-separated module-relative snapshot-covered packages rngdraw polices ('.' is the module root)")
+	oblivtaintPkgs := flag.String("oblivtaint.pkgs", encodePkgList(analysis.OblivTaintPackages),
+		"comma-separated module-relative packages carrying the obliviousness obligation")
+	oblivtaintSanction := flag.String("oblivtaint.sanction", strings.Join(analysis.OblivTaintSanctioned, ","),
+		"comma-separated '<pkg>.<Recv.>Func' constant-time primitives whose bodies oblivtaint exempts")
+	goleakExclude := flag.String("goleak.exclude", strings.Join(analysis.GoLeakExclude, ","),
+		"comma-separated module-relative package prefixes goleak skips")
 	tests := flag.Bool("tests", false, "also report findings in _test.go files")
 	unusedallow := flag.Bool("unusedallow", false, "report //lint:allow comments that suppress nothing")
 	flag.Parse()
@@ -47,6 +56,9 @@ func main() {
 	analysis.DetClockExclude = splitList(*detclockExclude)
 	analysis.DetClockSanctioned = splitList(*detclockSanction)
 	analysis.RNGDrawPackages = decodePkgList(*rngdrawPkgs)
+	analysis.OblivTaintPackages = decodePkgList(*oblivtaintPkgs)
+	analysis.OblivTaintSanctioned = splitList(*oblivtaintSanction)
+	analysis.GoLeakExclude = splitList(*goleakExclude)
 
 	var enabled []*analysis.Analyzer
 	for _, a := range analysis.All() {

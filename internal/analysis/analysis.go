@@ -94,7 +94,7 @@ type Diagnostic struct {
 // //lint:allow validator both treat this as the registry of known
 // analyzer names.
 func All() []*Analyzer {
-	return []*Analyzer{DetClock, RNGDraw, MapOrder, PoolSteal}
+	return []*Analyzer{DetClock, RNGDraw, MapOrder, PoolSteal, OblivTaint, GoLeak, AtomicMix}
 }
 
 // KnownAnalyzer reports whether name is an analyzer in the suite,

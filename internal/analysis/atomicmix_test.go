@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"incshrink/internal/analysis"
+	"incshrink/internal/analysis/analysistest"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicMix, "incshrink/internal/atomicmix")
+}

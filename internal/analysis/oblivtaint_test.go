@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"incshrink/internal/analysis"
+	"incshrink/internal/analysis/analysistest"
+)
+
+func TestOblivTaint(t *testing.T) {
+	old := analysis.OblivTaintSanctioned
+	analysis.OblivTaintSanctioned = append(append([]string{}, old...),
+		"internal/securearray.sanctionedCompareExchange")
+	defer func() { analysis.OblivTaintSanctioned = old }()
+	analysistest.Run(t, analysis.OblivTaint, "incshrink/internal/securearray")
+}

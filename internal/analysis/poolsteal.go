@@ -427,11 +427,27 @@ func (tr *poolTracker) classifyRefs(n ast.Node) (refKind, token.Pos) {
 }
 
 func (tr *poolTracker) classifyOne(id *ast.Ident, parents map[ast.Node]ast.Node) refKind {
-	// A closure capturing the value may run at any time: escape.
+	// A closure capturing the value may run at any time: escape — unless
+	// the closure demonstrably runs before the statement completes
+	// (immediately invoked, or passed as an argument to a call that is
+	// neither spawned nor deferred: the serial/parallel comparator
+	// executors' shape). Such a synchronous borrow keeps tracking alive,
+	// so a leak or use-after-release through the closure still reports.
+	// A synchronous closure that itself releases the value owns it:
+	// tracking stops, since the executor may run it zero or many times.
 	for p := parents[ast.Node(id)]; p != nil; p = parents[p] {
-		if _, ok := p.(*ast.FuncLit); ok {
+		fl, ok := p.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if !synchronousClosure(fl, parents) {
 			return refEscape
 		}
+		if tr.closureReleases(fl) {
+			return refEscape // ownership handed to the closure
+		}
+		// Synchronous: classify the reference by its immediate context
+		// below; any enclosing closure still gets its own check.
 	}
 	switch p := parents[ast.Node(id)].(type) {
 	case *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr, *ast.SliceExpr:
@@ -460,6 +476,39 @@ func (tr *poolTracker) classifyOne(id *ast.Ident, parents map[ast.Node]ast.Node)
 	default:
 		return refUse
 	}
+}
+
+// synchronousClosure reports whether fl runs to completion within the
+// statement that contains it: it is the callee of an immediate
+// invocation, or an argument of a direct call — and that call is not
+// behind go or defer. Closures that are assigned, returned, stored in
+// composites, or spawned may outlive the scope and remain escapes.
+func synchronousClosure(fl *ast.FuncLit, parents map[ast.Node]ast.Node) bool {
+	call, ok := parents[fl].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch parents[call].(type) {
+	case *ast.GoStmt, *ast.DeferStmt:
+		return false
+	}
+	return true
+}
+
+// closureReleases reports whether the closure body releases the tracked
+// value.
+func (tr *poolTracker) closureReleases(fl *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && tr.isRelease(e) {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // assign handles statements that may reassign the tracked variable or

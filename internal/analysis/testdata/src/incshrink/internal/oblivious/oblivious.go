@@ -1,10 +1,19 @@
 // Package oblivious is a hermetic analysistest stub of
 // incshrink/internal/oblivious: the pooled arena surface the poolsteal
-// fixtures borrow from.
+// fixtures borrow from, plus the secret accessors the oblivtaint
+// fixtures read.
 package oblivious
 
 type Buffer struct {
 	n int
+}
+
+// Entry is the by-value slot form: every field is secret content.
+type Entry struct {
+	Row    []int64
+	IsView bool
+	Left   int64
+	Right  int64
 }
 
 func GetBuffer(arity int) *Buffer { return &Buffer{} }
@@ -12,3 +21,13 @@ func GetBuffer(arity int) *Buffer { return &Buffer{} }
 func (b *Buffer) Release()       {}
 func (b *Buffer) Len() int       { return b.n }
 func (b *Buffer) Append(v int64) {}
+
+// Secret accessors (oblivtaint sources).
+func (b *Buffer) IsReal(i int) bool  { return false }
+func (b *Buffer) At(i, j int) int64  { return 0 }
+func (b *Buffer) Row(i int) []int64  { return nil }
+func (b *Buffer) Real() int          { return 0 }
+func (b *Buffer) Flags() []bool      { return nil }
+func (b *Buffer) Entry(i int) Entry  { return Entry{} }
+func (b *Buffer) Entries() []Entry   { return nil }
+func (b *Buffer) LeftID(i int) int64 { return 0 }

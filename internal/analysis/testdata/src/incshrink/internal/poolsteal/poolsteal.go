@@ -100,3 +100,49 @@ func allowedSite() {
 	b := oblivious.GetBuffer(2)
 	fillBuf(b)
 }
+
+// run models the serial/parallel comparator executors: the closure runs
+// synchronously, so a buffer it captures is still a tracked borrow.
+func run(f func()) { f() }
+
+func closureLeak() {
+	b := oblivious.GetBuffer(2) // want `never released`
+	run(func() { fillBuf(b) })
+}
+
+func closureUseAfterRelease() {
+	b := oblivious.GetBuffer(2)
+	b.Release()
+	run(func() { fillBuf(b) }) // want `used after release`
+}
+
+func closureBorrowThenRelease() {
+	b := oblivious.GetBuffer(2)
+	run(func() { fillBuf(b) })
+	b.Release()
+}
+
+func closureOwnsRelease() {
+	b := oblivious.GetBuffer(2)
+	run(func() { b.Release() }) // ownership handed to the closure: legal
+}
+
+func immediateInvoke() {
+	b := oblivious.GetBuffer(2) // want `never released`
+	func() { fillBuf(b) }()
+}
+
+func goroutineClosureStillEscapes(ready chan struct{}) {
+	b := oblivious.GetBuffer(2)
+	go func() { // tracking ends: the goroutine owns the buffer now
+		fillBuf(b)
+		b.Release()
+		close(ready)
+	}()
+}
+
+func deferredClosureStillEscapes() {
+	b := oblivious.GetBuffer(2)
+	defer func() { b.Release() }() // cleanup closure owns the buffer
+	fillBuf(b)
+}

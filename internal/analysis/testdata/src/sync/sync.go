@@ -14,3 +14,9 @@ func (p *Pool) Get() any {
 }
 
 func (p *Pool) Put(x any) {}
+
+type WaitGroup struct{}
+
+func (wg *WaitGroup) Add(delta int) {}
+func (wg *WaitGroup) Done()         {}
+func (wg *WaitGroup) Wait()         {}

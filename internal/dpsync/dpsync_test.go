@@ -11,7 +11,7 @@ import (
 	"incshrink/internal/workload"
 )
 
-func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) } //lint:allow rngdraw test-local stream, never snapshotted or resumed
 
 func TestFixedSync(t *testing.T) {
 	s := &FixedSync{Interval: 5, Block: 3}

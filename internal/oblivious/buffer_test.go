@@ -27,7 +27,7 @@ func entriesEqual(t *testing.T, got, want []Entry) {
 }
 
 func TestBufferRoundTrip(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(1)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	es := randEntries(rng, 37)
 	es[3].Left, es[3].Right = 11, 22
 	b := BufferOf(es)
@@ -42,7 +42,7 @@ func TestBufferRoundTrip(t *testing.T) {
 }
 
 func TestBufferMutationsMaintainRealCounter(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewSource(2)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	b := GetBuffer(2)
 	defer b.Release()
 	check := func(op string) {
@@ -83,7 +83,7 @@ func TestBufferMutationsMaintainRealCounter(t *testing.T) {
 // produce the identical output order — the invariant behind the
 // byte-identical determinism guarantee of the representation change.
 func TestSortBufferMatchesEntrySort(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := rand.New(rand.NewSource(3)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	for trial := 0; trial < 40; trial++ {
 		n := rng.Intn(150)
 		es := randEntries(rng, n)
@@ -96,7 +96,7 @@ func TestSortBufferMatchesEntrySort(t *testing.T) {
 }
 
 func TestSortBufferChargesLikeEntrySort(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
+	rng := rand.New(rand.NewSource(4)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	b, _ := randBuffer(rng, 24)
 	defer b.Release()
 	m := mpc.NewMeter(mpc.DefaultCostModel())
@@ -117,7 +117,7 @@ func TestSortBufferChargesLikeEntrySort(t *testing.T) {
 }
 
 func TestTightCompactIntoMatchesEntryForm(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := rand.New(rand.NewSource(5)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	for trial := 0; trial < 30; trial++ {
 		es := randEntries(rng, 40)
 		cap := rng.Intn(50)
@@ -135,7 +135,7 @@ func TestTightCompactIntoMatchesEntryForm(t *testing.T) {
 }
 
 func TestSelectIntoMatchesEntryForm(t *testing.T) {
-	rng := rand.New(rand.NewSource(6))
+	rng := rand.New(rand.NewSource(6)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	es := randEntries(rng, 25)
 	pred := func(r table.Row) bool { return r[0]%3 == 0 }
 	want := Select(es, pred, nil, mpc.OpQuery)
@@ -154,7 +154,7 @@ func TestSelectIntoMatchesEntryForm(t *testing.T) {
 }
 
 func TestCountBufferMatchesEntryForm(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(7)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	es := randEntries(rng, 33)
 	pred := func(r table.Row) bool { return r[0] < 40 }
 	b := BufferOf(es)
@@ -210,7 +210,7 @@ func TestAppendJoinConcatenates(t *testing.T) {
 const maxSteadyAllocs = 8.0
 
 func TestSortBufferSteadyStateAllocs(t *testing.T) {
-	rng := rand.New(rand.NewSource(8))
+	rng := rand.New(rand.NewSource(8)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	b, _ := randBuffer(rng, 512)
 	defer b.Release()
 	avg := testing.AllocsPerRun(100, func() {
@@ -222,7 +222,7 @@ func TestSortBufferSteadyStateAllocs(t *testing.T) {
 }
 
 func TestSMJIntoSteadyStateAllocs(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
+	rng := rand.New(rand.NewSource(9)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	rows1 := make([]table.Row, 64)
 	rows2 := make([]table.Row, 64)
 	for i := range rows1 {
@@ -243,7 +243,7 @@ func TestSMJIntoSteadyStateAllocs(t *testing.T) {
 }
 
 func TestTightCompactIntoSteadyStateAllocs(t *testing.T) {
-	rng := rand.New(rand.NewSource(10))
+	rng := rand.New(rand.NewSource(10)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	src, _ := randBuffer(rng, 256)
 	defer src.Release()
 	dst, over := GetBuffer(2), GetBuffer(2)
@@ -260,7 +260,7 @@ func TestTightCompactIntoSteadyStateAllocs(t *testing.T) {
 }
 
 func BenchmarkSortBuffer1K(b *testing.B) {
-	rng := rand.New(rand.NewSource(99))
+	rng := rand.New(rand.NewSource(99)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	base, _ := randBuffer(rng, 1024)
 	defer base.Release()
 	work := GetBuffer(2)
@@ -275,7 +275,7 @@ func BenchmarkSortBuffer1K(b *testing.B) {
 }
 
 func BenchmarkSMJInto128(b *testing.B) {
-	rng := rand.New(rand.NewSource(100))
+	rng := rand.New(rand.NewSource(100)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	rows1 := make([]table.Row, 128)
 	rows2 := make([]table.Row, 128)
 	for i := range rows1 {
@@ -294,7 +294,7 @@ func BenchmarkSMJInto128(b *testing.B) {
 }
 
 func BenchmarkTightCompactInto(b *testing.B) {
-	rng := rand.New(rand.NewSource(101))
+	rng := rand.New(rand.NewSource(101)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	src, _ := randBuffer(rng, 512)
 	defer src.Release()
 	dst, over := GetBuffer(2), GetBuffer(2)

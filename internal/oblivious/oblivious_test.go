@@ -20,7 +20,7 @@ func randEntries(rng *rand.Rand, n int) []Entry {
 }
 
 func TestSortCorrectnessAllSizes(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(1)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	less := func(a, b Entry) bool { return a.Row[0] < b.Row[0] }
 	for n := 0; n <= 65; n++ {
 		es := randEntries(rng, n)
@@ -34,7 +34,7 @@ func TestSortCorrectnessAllSizes(t *testing.T) {
 }
 
 func TestSortMatchesStdlib(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewSource(2)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	for trial := 0; trial < 50; trial++ {
 		n := rng.Intn(200)
 		es := randEntries(rng, n)
@@ -56,7 +56,7 @@ func TestSortMatchesStdlib(t *testing.T) {
 // only on the input length, never on the values — the defining property of
 // an oblivious sort.
 func TestSortDataIndependence(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := rand.New(rand.NewSource(3)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	for _, n := range []int{5, 16, 33, 100} {
 		counts := make(map[int]bool)
 		for trial := 0; trial < 10; trial++ {
@@ -73,7 +73,7 @@ func TestSortDataIndependence(t *testing.T) {
 
 func TestSortChargesPaddedNetwork(t *testing.T) {
 	m := newMeter()
-	es := randEntries(rand.New(rand.NewSource(4)), 8)
+	es := randEntries(rand.New(rand.NewSource(4)), 8) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	Sort(es, ByIsViewFirst, m, mpc.OpShrink, 128)
 	want := float64(mpc.SortCompareExchanges(8)) * 128 * m.Model().ANDGatesPerCompareExchangeBit
 	if got := m.Gates(mpc.OpShrink); got != want {
@@ -88,7 +88,7 @@ func TestSortChargesPaddedNetwork(t *testing.T) {
 }
 
 func TestByIsViewFirstOrdering(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := rand.New(rand.NewSource(5)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	for trial := 0; trial < 20; trial++ {
 		es := randEntries(rng, 50)
 		real := CountReal(es)
@@ -103,7 +103,7 @@ func TestByIsViewFirstOrdering(t *testing.T) {
 }
 
 func TestCompactFetchesRealFirst(t *testing.T) {
-	rng := rand.New(rand.NewSource(6))
+	rng := rand.New(rand.NewSource(6)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	es := randEntries(rng, 40)
 	real := CountReal(es)
 	fetched, rest := Compact(es, real, newMeter(), mpc.OpShrink, 64)
@@ -119,7 +119,7 @@ func TestCompactFetchesRealFirst(t *testing.T) {
 }
 
 func TestCompactClamping(t *testing.T) {
-	es := randEntries(rand.New(rand.NewSource(7)), 10)
+	es := randEntries(rand.New(rand.NewSource(7)), 10) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	fetched, rest := Compact(es, -5, nil, mpc.OpOther, 64)
 	if len(fetched) != 0 || len(rest) != 10 {
 		t.Error("negative keep should clamp to 0")
@@ -156,7 +156,7 @@ func mkRecordsBase(rows []table.Row, base int64) []Record {
 func mkRecords(rows []table.Row) []Record { return mkRecordsBase(rows, 1000) }
 
 func TestSMJMatchesHashJoinWithLargeBound(t *testing.T) {
-	rng := rand.New(rand.NewSource(8))
+	rng := rand.New(rand.NewSource(8)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	for trial := 0; trial < 20; trial++ {
 		n1, n2 := rng.Intn(30)+1, rng.Intn(30)+1
 		rows1 := make([]table.Row, n1)
@@ -215,7 +215,7 @@ func TestSMJTruncationBoundsContribution(t *testing.T) {
 }
 
 func TestSMJPerRecordContributionNeverExceedsBound(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
+	rng := rand.New(rand.NewSource(9)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	for trial := 0; trial < 10; trial++ {
 		bound := rng.Intn(4) + 1
 		rows1 := make([]table.Row, 25)
@@ -243,7 +243,7 @@ func TestSMJPerRecordContributionNeverExceedsBound(t *testing.T) {
 // TestSMJStability verifies Eq. 3: removing any single input record changes
 // the real output by at most `bound` rows.
 func TestSMJStability(t *testing.T) {
-	rng := rand.New(rand.NewSource(10))
+	rng := rand.New(rand.NewSource(10)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	bound := 3
 	rows1 := make([]table.Row, 12)
 	rows2 := make([]table.Row, 12)
@@ -295,7 +295,7 @@ func TestSMJChargesCosts(t *testing.T) {
 }
 
 func TestNLJMatchesHashJoin(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := rand.New(rand.NewSource(11)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	for trial := 0; trial < 10; trial++ {
 		rows1 := make([]table.Row, 10)
 		rows2 := make([]table.Row, 10)
@@ -332,7 +332,7 @@ func TestNLJBudgetConsumption(t *testing.T) {
 }
 
 func TestNLJAgainstSMJ(t *testing.T) {
-	rng := rand.New(rand.NewSource(12))
+	rng := rand.New(rand.NewSource(12)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	rows1 := make([]table.Row, 8)
 	rows2 := make([]table.Row, 8)
 	for i := range rows1 {
@@ -397,7 +397,7 @@ func TestDummyShape(t *testing.T) {
 }
 
 func BenchmarkSort1K(b *testing.B) {
-	rng := rand.New(rand.NewSource(99))
+	rng := rand.New(rand.NewSource(99)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	base := randEntries(rng, 1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -408,7 +408,7 @@ func BenchmarkSort1K(b *testing.B) {
 }
 
 func BenchmarkSMJ128(b *testing.B) {
-	rng := rand.New(rand.NewSource(100))
+	rng := rand.New(rand.NewSource(100)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	rows1 := make([]table.Row, 128)
 	rows2 := make([]table.Row, 128)
 	for i := range rows1 {

@@ -45,7 +45,7 @@ func TestBatcherZeroOnePrinciple(t *testing.T) {
 			}
 		}
 	}
-	rng := rand.New(rand.NewSource(41))
+	rng := rand.New(rand.NewSource(41)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	for n := 17; n <= 64; n++ {
 		var cases [][]int
 		for k := 0; k <= n; k++ { // threshold inputs: k ones then zeros
@@ -126,7 +126,7 @@ func sortedAtWorkers(t *testing.T, workers, n int, seed int64) []Entry {
 	t.Helper()
 	SetSortWorkers(workers)
 	defer SetSortWorkers(1)
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(seed)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	es := make([]Entry, n)
 	for i := range es {
 		es[i] = Entry{Row: table.Row{int64(rng.Intn(50)), int64(i)}, IsView: rng.Intn(2) == 0}
@@ -155,7 +155,7 @@ func TestSortWorkersDeterminism(t *testing.T) {
 // permutation sort plus gather), which shares forEachComparator.
 func TestSortBufferWorkersDeterminism(t *testing.T) {
 	build := func() *Buffer {
-		rng := rand.New(rand.NewSource(99))
+		rng := rand.New(rand.NewSource(99)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 		b := NewBuffer(2, 0)
 		for i := 0; i < parallelSortMinN+300; i++ {
 			b.AppendSlot(table.Row{int64(rng.Intn(64)), int64(i)}, rng.Intn(2) == 0, 0, 0)

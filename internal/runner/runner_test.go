@@ -52,7 +52,7 @@ func TestMapBoundsConcurrency(t *testing.T) {
 				break
 			}
 		}
-		time.Sleep(time.Millisecond)
+		time.Sleep(time.Millisecond) //lint:allow detclock test forces worker overlap with a real sleep
 		return i, nil
 	})
 	if _, err := Map(context.Background(), cells, workers); err != nil {
@@ -97,7 +97,7 @@ func TestMapErrorCancelsRemaining(t *testing.T) {
 			if i == 0 {
 				return 0, errors.New("first cell fails")
 			}
-			time.Sleep(time.Millisecond)
+			time.Sleep(time.Millisecond) //lint:allow detclock test forces worker overlap with a real sleep
 			return i, nil
 		}}
 	}

@@ -178,7 +178,7 @@ func TestReshareInsideMaskedFromEachServer(t *testing.T) {
 }
 
 func TestReshareInsideK(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := rand.New(rand.NewSource(11)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	for k := 2; k <= 6; k++ {
 		secret := rng.Uint32()
 		contrib := make([][]Word, k)

@@ -25,7 +25,7 @@ func batch(rng *rand.Rand, n, real int) []oblivious.Entry {
 func newCache(tupleBits int, m *mpc.Meter) *Cache { return New(2, tupleBits, m) }
 
 func TestCacheAppendAndCounters(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(1)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	c := newCache(128, nil)
 	c.AppendEntries(batch(rng, 10, 3))
 	c.AppendEntries(batch(rng, 10, 5))
@@ -45,7 +45,7 @@ func TestCacheAppendAndCounters(t *testing.T) {
 }
 
 func TestCacheReadFetchesRealFirst(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewSource(2)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	c := newCache(128, nil)
 	c.AppendEntries(batch(rng, 30, 12))
 	got := c.Read(12)
@@ -62,7 +62,7 @@ func TestCacheReadFetchesRealFirst(t *testing.T) {
 }
 
 func TestCacheReadOverAndUnderSized(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := rand.New(rand.NewSource(3)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	c := newCache(128, nil)
 	c.AppendEntries(batch(rng, 10, 4))
 	// Positive noise: fetch more than real count -> dummies included.
@@ -91,7 +91,7 @@ func TestCacheReadOverAndUnderSized(t *testing.T) {
 }
 
 func TestCacheReadChargesSort(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
+	rng := rand.New(rand.NewSource(4)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	m := mpc.NewMeter(mpc.DefaultCostModel())
 	c := newCache(256, m)
 	c.AppendEntries(batch(rng, 16, 5))
@@ -103,7 +103,7 @@ func TestCacheReadChargesSort(t *testing.T) {
 }
 
 func TestCacheFlushInto(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := rand.New(rand.NewSource(5)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	c := newCache(128, nil)
 	v := NewView(2)
 	c.AppendEntries(batch(rng, 50, 6))
@@ -130,7 +130,7 @@ func TestCacheFlushInto(t *testing.T) {
 }
 
 func TestCacheFlushReportsLostReal(t *testing.T) {
-	rng := rand.New(rand.NewSource(6))
+	rng := rand.New(rand.NewSource(6)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	c := newCache(128, nil)
 	c.AppendEntries(batch(rng, 20, 9))
 	_, lost := c.FlushInto(NewView(2), 5) // undersized flush: 4 real recycled
@@ -140,7 +140,7 @@ func TestCacheFlushReportsLostReal(t *testing.T) {
 }
 
 func TestCacheSnapshotIsCopy(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := rand.New(rand.NewSource(7)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	c := newCache(128, nil)
 	c.AppendEntries(batch(rng, 5, 2))
 	snap := c.Snapshot()
@@ -154,7 +154,7 @@ func TestCacheSnapshotIsCopy(t *testing.T) {
 }
 
 func TestViewAppendOnly(t *testing.T) {
-	rng := rand.New(rand.NewSource(8))
+	rng := rand.New(rand.NewSource(8)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	v := NewView(2)
 	v.UpdateEntries(batch(rng, 10, 4))
 	b := oblivious.BufferOf(batch(rng, 5, 5))
@@ -172,7 +172,7 @@ func TestViewAppendOnly(t *testing.T) {
 }
 
 func TestViewSizeBytes(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
+	rng := rand.New(rand.NewSource(9)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	v := NewView(2)
 	v.UpdateEntries(batch(rng, 8, 2))
 	if got := v.SizeBytes(256); got != 8*256/8 {
@@ -183,7 +183,7 @@ func TestViewSizeBytes(t *testing.T) {
 // TestReadPreservesMultiset: read + remainder must hold exactly the original
 // real tuples (no tuple is lost or duplicated by the oblivious machinery).
 func TestReadPreservesMultiset(t *testing.T) {
-	rng := rand.New(rand.NewSource(10))
+	rng := rand.New(rand.NewSource(10)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	c := newCache(128, nil)
 	b := batch(rng, 40, 17)
 	orig := oblivious.RealRows(b)
@@ -201,7 +201,7 @@ func TestReadPreservesMultiset(t *testing.T) {
 // full recount after every operation — the satellite invariant behind the
 // O(1) Real() on the serving read path.
 func TestCountersPinnedToScan(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	rng := rand.New(rand.NewSource(11)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	c := newCache(128, nil)
 	v := NewView(2)
 	check := func(op string) {
@@ -239,7 +239,7 @@ func TestCountersPinnedToScan(t *testing.T) {
 // batch and reading it back must not allocate per slot (small constant
 // per-op allocations only, from pool churn at worst).
 func TestCacheSteadyStateAllocs(t *testing.T) {
-	rng := rand.New(rand.NewSource(12))
+	rng := rand.New(rand.NewSource(12)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	c := newCache(128, nil)
 	v := NewView(2)
 	src := oblivious.BufferOf(batch(rng, 256, 40))
@@ -261,7 +261,7 @@ func TestCacheSteadyStateAllocs(t *testing.T) {
 }
 
 func BenchmarkCacheAppend256(b *testing.B) {
-	rng := rand.New(rand.NewSource(98))
+	rng := rand.New(rand.NewSource(98)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	c := newCache(256, nil)
 	src := oblivious.BufferOf(batch(rng, 256, 40))
 	defer src.Release()
@@ -278,7 +278,7 @@ func BenchmarkCacheAppend256(b *testing.B) {
 }
 
 func BenchmarkCacheRead256(b *testing.B) {
-	rng := rand.New(rand.NewSource(99))
+	rng := rand.New(rand.NewSource(99)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	c := newCache(256, nil)
 	v := NewView(2)
 	src := oblivious.BufferOf(batch(rng, 256, 40))

@@ -9,7 +9,7 @@ import (
 
 func TestReadAndPruneSegments(t *testing.T) {
 	// 30 slots, 12 real. Fetch 5, spill 4, keep 10 => 11 recycled.
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(1)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	c := newCache(128, nil)
 	v := NewView(2)
 	c.AppendEntries(batch(rng, 30, 12))
@@ -36,7 +36,7 @@ func TestReadAndPruneSegments(t *testing.T) {
 func TestReadAndPruneLosesTailReal(t *testing.T) {
 	// 20 slots, 15 real. Fetch 2, spill 3, keep 5 => 10 recycled, of which
 	// 15-2-3-5 = 5 are real.
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewSource(2)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	c := newCache(128, nil)
 	c.AppendEntries(batch(rng, 20, 15))
 	lost := c.ReadAndPruneInto(NewView(2), 2, 3, 5)
@@ -49,7 +49,7 @@ func TestReadAndPruneLosesTailReal(t *testing.T) {
 }
 
 func TestReadAndPruneClamps(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
+	rng := rand.New(rand.NewSource(3)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	c := newCache(128, nil)
 	v := NewView(2)
 	c.AppendEntries(batch(rng, 10, 4))
@@ -75,7 +75,7 @@ func TestReadAndPruneClamps(t *testing.T) {
 }
 
 func TestReadAndPruneConservesReal(t *testing.T) {
-	rng := rand.New(rand.NewSource(4))
+	rng := rand.New(rand.NewSource(4)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	for trial := 0; trial < 30; trial++ {
 		n := 10 + rng.Intn(40)
 		real := rng.Intn(n + 1)
@@ -92,7 +92,7 @@ func TestReadAndPruneConservesReal(t *testing.T) {
 }
 
 func TestDrainInto(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := rand.New(rand.NewSource(5)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	c := newCache(128, nil)
 	v := NewView(2)
 	b := batch(rng, 12, 5)
@@ -111,7 +111,7 @@ func TestDrainInto(t *testing.T) {
 }
 
 func TestPrune(t *testing.T) {
-	rng := rand.New(rand.NewSource(6))
+	rng := rand.New(rand.NewSource(6)) //lint:allow rngdraw test-local stream, never snapshotted or resumed
 	c := newCache(128, nil)
 	c.AppendEntries(batch(rng, 20, 6))
 	lost := c.Prune(10)

@@ -183,12 +183,12 @@ func TestMailboxAdmission(t *testing.T) {
 // waitFor polls cond until true or the deadline expires.
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := time.Now().Add(5 * time.Second) //lint:allow detclock test-only deadline polling against live goroutines
 	for !cond() {
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //lint:allow detclock test-only deadline polling against live goroutines
 			t.Fatal("condition not reached before deadline")
 		}
-		time.Sleep(time.Millisecond)
+		time.Sleep(time.Millisecond) //lint:allow detclock test-only deadline polling against live goroutines
 	}
 }
 
