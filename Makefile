@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test lint race bench bench-core bench-smoke bench-batch bench-serve bench-diff obs-smoke recover-smoke fuzz-smoke serve
+.PHONY: check fmt vet build test lint race bench bench-core bench-smoke bench-batch bench-serve bench-diff obs-smoke recover-smoke wire-smoke fuzz-smoke serve
 
-# check is what CI runs: formatting, static checks, build, tests, and the
+# check is what CI runs: formatting, static checks, build, tests, the
 # observability smoke (boot the production wiring, scrape /metrics, assert
-# every layer's families).
-check: lint build test obs-smoke
+# every layer's families), and the two-process wire smoke (real TLS
+# sockets, byte-identical to loopback, measured wire cost vs prediction).
+check: lint build test obs-smoke wire-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
@@ -123,12 +124,25 @@ recover-smoke:
 	$(GO) test -count=1 -run 'TestRecoverSmoke' .
 	$(GO) test -count=1 -run 'TestRegistryCheckpointRestore|TestPeriodicCheckpointing' ./internal/serve
 
+# wire-smoke proves the transport stack end to end (CI runs this): build
+# cmd/incshrink-party, spawn two party processes over localhost TLS with
+# self-signed certificates in a temp dir, and require (a) the networked
+# session is byte-identical to the in-process loopback reference — opened
+# values, transcript and snapshot digests, wire tallies — and (b) the
+# measured per-party wire rounds/bytes match the mpc cost-model prediction
+# within tolerance (exact in practice). The measured numbers land in
+# BENCH_wire.json, diffable with `incshrink-bench -compare`.
+wire-smoke:
+	$(GO) build -o bin/incshrink-party ./cmd/incshrink-party
+	./bin/incshrink-party -smoke -bench BENCH_wire.json
+
 # fuzz-smoke gives each snapshot-codec fuzz target a short budget beyond
 # the checked-in seed corpus (the corpus itself already runs in `test`).
 fuzz-smoke:
 	$(GO) test -run XXX -fuzz FuzzDecodeBuffer -fuzztime 10s ./internal/snapshot
 	$(GO) test -run XXX -fuzz FuzzBufferRoundTrip -fuzztime 10s ./internal/snapshot
 	$(GO) test -run XXX -fuzz FuzzDecodeRuntime -fuzztime 10s ./internal/snapshot
+	$(GO) test -run XXX -fuzz FuzzFrameDecoder -fuzztime 10s ./internal/wire
 
 # serve runs the multi-tenant HTTP front end (see examples/server for a
 # curl-able session). Add DATA=./incshrink-data for a durable server.

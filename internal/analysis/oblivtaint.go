@@ -19,6 +19,11 @@ var OblivTaintPackages = []string{
 	"internal/securearray",
 	"internal/core",
 	"internal/gmw",
+	// The transport and the standalone party driver move only frames whose
+	// types and lengths are public protocol constants; policing them proves
+	// the wire layer introduced no secret-dependent control flow or sizing.
+	"internal/wire",
+	"internal/party",
 }
 
 // OblivTaintSanctioned lists the constant-time / blinded primitives whose

@@ -27,6 +27,7 @@ var RNGDrawPackages = []string{
 	"internal/oblivious",
 	"internal/securearray",
 	"internal/table",
+	"internal/party",
 }
 
 // countingWrapper identifies dp.NewCountingRNG.

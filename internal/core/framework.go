@@ -378,9 +378,9 @@ func (f *Framework) Step(st workload.Step) {
 		f.pendingRight = nil
 	}
 
-	shrinkStart, shrinkProbe := f.ins.phaseStart(f.rt.Meter)
+	shrinkProbe := f.ins.phaseStart(f.rt)
 	f.shrink.Tick(f, st.T)
-	f.ins.phaseDone("shrink", mpc.OpShrink, shrinkStart, shrinkProbe, f.rt.Meter)
+	f.ins.phaseDone("shrink", mpc.OpShrink, shrinkProbe, f.rt)
 
 	if f.flushDue(st.T) {
 		fetched, lost := f.cache.FlushInto(f.view, f.cfg.FlushSize)
@@ -442,9 +442,9 @@ func (f *Framework) StepBatch(steps []workload.Step) {
 			f.mergedRightArena = f.mergedRightArena[:0]
 		}
 
-		shrinkStart, shrinkProbe := f.ins.phaseStart(f.rt.Meter)
+		shrinkProbe := f.ins.phaseStart(f.rt)
 		f.shrink.Tick(f, st.T)
-		f.ins.phaseDone("shrink", mpc.OpShrink, shrinkStart, shrinkProbe, f.rt.Meter)
+		f.ins.phaseDone("shrink", mpc.OpShrink, shrinkProbe, f.rt)
 
 		if f.flushDue(st.T) {
 			fetched, lost := f.cache.FlushInto(f.view, f.cfg.FlushSize)
@@ -502,7 +502,7 @@ func (f *Framework) uploadDue(t int) bool {
 // and the join output, compaction output and overflow carry are
 // arena-backed oblivious.Buffers.
 func (f *Framework) transform(newLeft, newRight []oblivious.Record) {
-	start, probe := f.ins.phaseStart(f.rt.Meter)
+	probe := f.ins.phaseStart(f.rt)
 	f.transforms++
 	t := f.now
 
@@ -594,7 +594,7 @@ func (f *Framework) transform(newLeft, newRight []oblivious.Record) {
 	f.activeLeft = f.retainAlive(f.activeLeft[:0], f.inLeft, f.leftBudget, f.leftSince, t)
 	f.activeRight = f.retainAlive(f.activeRight[:0], f.inRight, f.rightBudget, f.rightSince, t)
 
-	f.ins.phaseDone("transform", mpc.OpTransform, start, probe, f.rt.Meter)
+	f.ins.phaseDone("transform", mpc.OpTransform, probe, f.rt)
 }
 
 // transformMerged is the window-merged Transform: one protocol invocation
@@ -622,7 +622,7 @@ func (f *Framework) transform(newLeft, newRight []oblivious.Record) {
 //     security argument is unchanged because the merged sizes are public
 //     functions of k and the deployment).
 func (f *Framework) transformMerged(blocks []uploadBlock) {
-	start, probe := f.ins.phaseStart(f.rt.Meter)
+	probe := f.ins.phaseStart(f.rt)
 	f.transforms++
 	k := len(blocks)
 
@@ -732,7 +732,7 @@ func (f *Framework) transformMerged(blocks []uploadBlock) {
 	}
 	f.activeRight = f.mergedRetain(f.activeRight, f.inRight[nRight:], f.rightBudget, f.rightSince, blocks)
 
-	f.ins.phaseDone("transform", mpc.OpTransform, start, probe, f.rt.Meter)
+	f.ins.phaseDone("transform", mpc.OpTransform, probe, f.rt)
 }
 
 // mergedRetain is retainAlive for a merged segment: each record consumes
@@ -859,13 +859,13 @@ func (f *Framework) Query() (int, float64) {
 // (internal/query). View rows have the layout {left..., right...}; the scan
 // runs over the view arena, handing the predicate zero-copy row views.
 func (f *Framework) QueryWhere(pred table.Predicate) (int, float64) {
-	qStart, qProbe := f.ins.phaseStart(f.rt.Meter)
+	qProbe := f.ins.phaseStart(f.rt)
 	before := f.rt.Meter.Seconds(mpc.OpQuery)
 	res := oblivious.CountBuffer(f.view.Buffer(), pred, f.rt.Meter, mpc.OpQuery)
 	qet := f.rt.Meter.Seconds(mpc.OpQuery) - before
 	f.queries++
 	f.querySecs += qet
-	f.ins.phaseDone("query", mpc.OpQuery, qStart, qProbe, f.rt.Meter)
+	f.ins.phaseDone("query", mpc.OpQuery, qProbe, f.rt)
 	return res, qet
 }
 

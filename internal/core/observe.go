@@ -148,24 +148,32 @@ func (ins *Instruments) now() obs.Ticks {
 	return obs.Now()
 }
 
-// phaseStart opens a phase measurement: a clock reading plus a probe of the
-// meter's modeled totals, so phaseDone can attribute both wall time and the
-// modeled delta to the phase.
-func (ins *Instruments) phaseStart(m *mpc.Meter) (obs.Ticks, mpc.MeterProbe) {
+// phaseProbe is one open phase measurement: a clock reading, a probe of the
+// meter's modeled totals, and a probe of the runtime's wire tally, so
+// phaseDone can attribute wall time, the modeled delta and the measured wire
+// traffic to the phase.
+type phaseProbe struct {
+	start obs.Ticks
+	meter mpc.MeterProbe
+	wire  mpc.WireProbe
+}
+
+// phaseStart opens a phase measurement over the runtime.
+func (ins *Instruments) phaseStart(rt *mpc.Runtime) phaseProbe {
 	if ins == nil {
-		return 0, mpc.MeterProbe{}
+		return phaseProbe{}
 	}
-	return obs.Now(), m.Probe()
+	return phaseProbe{start: obs.Now(), meter: rt.Meter.Probe(), wire: rt.WireProbe()}
 }
 
 // phaseDone closes a phase: the wall duration lands in the phase histogram
-// and, paired with the meter's modeled delta for op, feeds the
-// predicted-vs-measured cost accounting.
-func (ins *Instruments) phaseDone(phase string, op mpc.Op, start obs.Ticks, probe mpc.MeterProbe, m *mpc.Meter) {
+// and, paired with the meter's modeled delta and the connection counters'
+// wire delta for op, feeds the predicted-vs-measured cost accounting.
+func (ins *Instruments) phaseDone(phase string, op mpc.Op, p phaseProbe, rt *mpc.Runtime) {
 	if ins == nil {
 		return
 	}
-	elapsed := obs.Since(start)
+	elapsed := obs.Since(p.start)
 	switch phase {
 	case "transform":
 		ins.transformSeconds.ObserveDuration(elapsed)
@@ -175,8 +183,9 @@ func (ins *Instruments) phaseDone(phase string, op mpc.Op, start obs.Ticks, prob
 		ins.querySeconds.ObserveDuration(elapsed)
 		ins.queries.Inc()
 	}
-	sec, bytes := probe.Delta(m, op)
-	ins.cost.Observe(op, sec, bytes, elapsed)
+	sec, bytes := p.meter.Delta(rt.Meter, op)
+	rounds, wireBytes := p.wire.Delta(rt)
+	ins.cost.Observe(op, sec, bytes, elapsed, rounds, wireBytes)
 }
 
 // observePad records the padding section of one transform.

@@ -1,0 +1,237 @@
+package gmw
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"incshrink/internal/wire"
+)
+
+// runPair evaluates one party program per role over a buffered loopback,
+// joining the role-1 goroutine before returning.
+func runPair(t *testing.T, triples int, program func(e *Eval) []uint32) (out0, out1 []uint32, e0, e1 *Eval) {
+	t.Helper()
+	c0, c1 := wire.Loopback(256)
+	defer c0.Close()
+	defer c1.Close()
+	e0 = NewEval(0, c0, 0)
+	e1 = NewEval(1, c1, 0)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := e1.RecvTriples(); err != nil {
+			t.Errorf("role 1 triples: %v", err)
+			return
+		}
+		out1 = program(e1)
+	}()
+	if err := e0.DealTriples(NewDealer(42), triples); err != nil {
+		t.Fatalf("role 0 triples: %v", err)
+	}
+	out0 = program(e0)
+	wg.Wait()
+	if e0.Err() != nil || e1.Err() != nil {
+		t.Fatalf("evaluation errors: role0=%v role1=%v", e0.Err(), e1.Err())
+	}
+	return out0, out1, e0, e1
+}
+
+// evalProgram runs every word circuit once over fixed inputs and opens all
+// results. Shares are built against fixed masks (both parties pass the same
+// masks, as the runtime's re-sharing would arrange).
+func evalProgram(x, y uint32) func(e *Eval) []uint32 {
+	return func(e *Eval) []uint32 {
+		wx := ShareOfWord(e.Role(), x, 0xDEADBEEF)
+		wy := ShareOfWord(e.Role(), y, 0x1234ABCD)
+		var outs []uint32
+		open := func(w WordShare) {
+			v, err := e.OpenWord(w)
+			if err != nil {
+				return
+			}
+			outs = append(outs, v)
+		}
+		openBit := func(b BitShare) {
+			var w WordShare
+			w[0] = b
+			open(w)
+		}
+		open(e.Add(wx, wy))
+		openBit(e.LessThan(wx, wy))
+		openBit(e.Equal(wx, wy))
+		lo, hi := e.CompareExchange(wx, wy)
+		open(lo)
+		open(hi)
+		open(e.CounterUpdate(wx, wy))
+		openBit(e.ThresholdCheck(wx, wy))
+		return outs
+	}
+}
+
+// evalProgramTriples is the triple budget of evalProgram: Add 32, LessThan
+// 96, Equal 32, CompareExchange 160, CounterUpdate 32, ThresholdCheck 96.
+const evalProgramTriples = 32 + 96 + 32 + 160 + 32 + 96
+
+func TestEvalMatchesCircuitOutputs(t *testing.T) {
+	cases := [][2]uint32{
+		{0, 0}, {1, 1}, {3, 7}, {7, 3}, {0xFFFFFFFF, 1}, {1 << 31, (1 << 31) - 1}, {123456, 123456},
+	}
+	for _, tc := range cases {
+		x, y := tc[0], tc[1]
+		out0, out1, e0, e1 := runPair(t, evalProgramTriples, evalProgram(x, y))
+
+		// Reference outputs from the in-process Circuit over the same inputs.
+		d := NewDealer(7)
+		c := NewCircuit(d, 0)
+		cx, cy := c.ShareWord(x), c.ShareWord(y)
+		bit := func(b Bit) uint32 {
+			if b.Open() {
+				return 1
+			}
+			return 0
+		}
+		clo, chi := c.CompareExchange(cx, cy)
+		want := []uint32{
+			OpenWord(c.Add(cx, cy)),
+			bit(c.LessThan(cx, cy)),
+			bit(c.Equal(cx, cy)),
+			OpenWord(clo),
+			OpenWord(chi),
+			OpenWord(c.CounterUpdate(cx, cy)),
+			bit(c.ThresholdCheck(cx, cy)),
+		}
+		if len(out0) != len(want) {
+			t.Fatalf("x=%d y=%d: %d outputs, want %d", x, y, len(out0), len(want))
+		}
+		for i := range want {
+			if out0[i] != want[i] || out1[i] != want[i] {
+				t.Errorf("x=%d y=%d output %d: role0=%d role1=%d circuit=%d", x, y, i, out0[i], out1[i], want[i])
+			}
+		}
+		// Gate counts match the in-process circuit exactly — the cost model's
+		// cross-check extends to the wire evaluator.
+		if e0.ANDGates != c.ANDGates || e1.ANDGates != c.ANDGates {
+			t.Errorf("AND gates: role0=%d role1=%d circuit=%d", e0.ANDGates, e1.ANDGates, c.ANDGates)
+		}
+		if e0.TriplesLeft() != 0 {
+			t.Errorf("triple budget: %d left of %d", e0.TriplesLeft(), evalProgramTriples)
+		}
+	}
+}
+
+func TestEvalOpeningsIdenticalAcrossParties(t *testing.T) {
+	_, _, e0, e1 := runPair(t, evalProgramTriples, evalProgram(99, 1234))
+	if len(e0.Openings) != 2*e0.ANDGates {
+		t.Fatalf("%d openings for %d AND gates", len(e0.Openings), e0.ANDGates)
+	}
+	if len(e0.Openings) != len(e1.Openings) {
+		t.Fatalf("transcript lengths differ: %d vs %d", len(e0.Openings), len(e1.Openings))
+	}
+	for i := range e0.Openings {
+		if e0.Openings[i] != e1.Openings[i] {
+			t.Fatalf("opening %d differs between parties", i)
+		}
+	}
+}
+
+// TestEvalOpeningsMasked checks the online transcript is triple-masked: the
+// same inputs under different dealer randomness yield different openings
+// (the transcript depends on the masks, not the data).
+func TestEvalOpeningsMasked(t *testing.T) {
+	run := func(seed int64) []bool {
+		c0, c1 := wire.Loopback(256)
+		defer c0.Close()
+		defer c1.Close()
+		e0, e1 := NewEval(0, c0, 0), NewEval(1, c1, 0)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := e1.RecvTriples(); err != nil {
+				t.Error(err)
+				return
+			}
+			evalProgram(5, 9)(e1)
+		}()
+		if err := e0.DealTriples(NewDealer(seed), evalProgramTriples); err != nil {
+			t.Fatal(err)
+		}
+		evalProgram(5, 9)(e0)
+		wg.Wait()
+		return e0.Openings
+	}
+	a, b := run(1), run(2)
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("openings identical under different triple randomness — transcript is not masked")
+	}
+}
+
+// TestEvalWireAccounting pins the wire shape of the GMW online phase: one
+// 1-byte frame per party per AND gate (one round), one 4-byte frame per
+// reveal, one triple block frame in the offline phase.
+func TestEvalWireAccounting(t *testing.T) {
+	c0, c1 := wire.Loopback(256)
+	defer c0.Close()
+	defer c1.Close()
+	e0, e1 := NewEval(0, c0, 0), NewEval(1, c1, 0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := e1.RecvTriples(); err != nil {
+			t.Error(err)
+			return
+		}
+		evalProgram(21, 13)(e1)
+	}()
+	if err := e0.DealTriples(NewDealer(3), evalProgramTriples); err != nil {
+		t.Fatal(err)
+	}
+	evalProgram(21, 13)(e0)
+	wg.Wait()
+
+	const reveals = 7
+	st := c0.Stats()
+	wantSent := uint64(wire.FrameOverhead+evalProgramTriples) + // triple block
+		uint64(e0.ANDGates)*(wire.FrameOverhead+1) +
+		reveals*(wire.FrameOverhead+4)
+	if st.BytesSent != wantSent {
+		t.Errorf("role 0 bytes sent = %d, want %d", st.BytesSent, wantSent)
+	}
+	wantRecv := wantSent - uint64(wire.FrameOverhead+evalProgramTriples)
+	if st.BytesRecv != wantRecv {
+		t.Errorf("role 0 bytes recv = %d, want %d", st.BytesRecv, wantRecv)
+	}
+	// Every AND and every reveal is one send-then-recv: one round each.
+	if want := uint64(e0.ANDGates + reveals); st.Rounds != want {
+		t.Errorf("role 0 rounds = %d, want %d", st.Rounds, want)
+	}
+}
+
+func TestEvalTriplePoolExhaustion(t *testing.T) {
+	c0, c1 := wire.Loopback(4)
+	defer c0.Close()
+	defer c1.Close()
+	e := NewEval(0, c0, 0)
+	x := ShareOfWord(0, 1, 2)
+	_ = e.AND(x[0], x[1])
+	if !errors.Is(e.Err(), ErrNoTriples) {
+		t.Fatalf("err = %v, want ErrNoTriples", e.Err())
+	}
+	// The error is sticky: later operations keep reporting it.
+	if _, err := e.OpenWord(x); !errors.Is(err, ErrNoTriples) {
+		t.Fatalf("OpenWord after exhaustion: %v", err)
+	}
+}

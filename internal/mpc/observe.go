@@ -20,7 +20,10 @@ type CostObserver struct {
 	predictedSeconds *obs.CounterVec
 	measuredSeconds  *obs.CounterVec
 	predictedBytes   *obs.CounterVec
+	wireRounds       *obs.CounterVec
+	wireBytes        *obs.CounterVec
 	ratio            *obs.GaugeVec
+	wireRatio        *obs.GaugeVec
 }
 
 // NewCostObserver registers the mpc cost families on r. Registration is
@@ -33,16 +36,23 @@ func NewCostObserver(r *obs.Registry) *CostObserver {
 			"measured wall seconds spent in the same operations, by operation class", "op"),
 		predictedBytes: r.CounterVec("incshrink_mpc_predicted_bytes_total",
 			"modeled secure-computation network bytes, by operation class", "op"),
+		wireRounds: r.CounterVec("incshrink_mpc_wire_rounds_total",
+			"measured transport rounds from the party connection counters, by operation class", "op"),
+		wireBytes: r.CounterVec("incshrink_mpc_wire_bytes_total",
+			"measured transport frame bytes from the party connection counters, by operation class", "op"),
 		ratio: r.GaugeVec("incshrink_mpc_predicted_vs_measured",
 			"ratio of cumulative modeled seconds to cumulative measured wall seconds, by operation class", "op"),
+		wireRatio: r.GaugeVec("incshrink_mpc_predicted_vs_measured_wire_bytes",
+			"ratio of wire bytes predicted from the measured round count (one word exchange per round) to measured wire bytes, by operation class", "op"),
 	}
 }
 
 // Observe records one completed operation: the meter's modeled deltas for
-// the phase against the measured wall duration, then refreshes the ratio
-// gauge from the cumulative totals. Negative deltas (a meter Reset between
-// observations) are clamped to zero rather than corrupting the counters.
-func (o *CostObserver) Observe(op Op, predictedSeconds, predictedBytes float64, measured time.Duration) {
+// the phase against the measured wall duration and the connection counters'
+// measured wire deltas, then refreshes the ratio gauges from the cumulative
+// totals. Negative deltas (a meter Reset between observations) are clamped
+// to zero rather than corrupting the counters.
+func (o *CostObserver) Observe(op Op, predictedSeconds, predictedBytes float64, measured time.Duration, wireRounds, wireBytes uint64) {
 	if o == nil {
 		return
 	}
@@ -56,10 +66,22 @@ func (o *CostObserver) Observe(op Op, predictedSeconds, predictedBytes float64, 
 	if measured > 0 {
 		o.measuredSeconds.With(name).Add(measured.Seconds())
 	}
+	if wireRounds > 0 {
+		o.wireRounds.With(name).Add(float64(wireRounds))
+	}
+	if wireBytes > 0 {
+		o.wireBytes.With(name).Add(float64(wireBytes))
+	}
 	pred := o.predictedSeconds.With(name).Value()
 	meas := o.measuredSeconds.With(name).Value()
 	if meas > 0 {
 		o.ratio.With(name).Set(pred / meas)
+	}
+	// The runtime's word-exchange shape predicts ExchangeBytes per round;
+	// the gauge sits at 1.0 while traffic is pure runtime exchanges and
+	// drifts when other frame shapes (GMW AND openings) mix in.
+	if wb := o.wireBytes.With(name).Value(); wb > 0 {
+		o.wireRatio.With(name).Set(o.wireRounds.With(name).Value() * ExchangeBytes / wb)
 	}
 }
 
@@ -88,4 +110,24 @@ func (p MeterProbe) Delta(m *Meter, op Op) (seconds, bytes float64) {
 		op = OpOther
 	}
 	return m.Seconds(op) - p.seconds[op], m.Bytes(op) - p.bytes[op]
+}
+
+// WireProbe captures a runtime's cumulative per-party wire tally so a caller
+// can compute the rounds and frame bytes one operation moved. Like
+// MeterProbe it is a value: take one before the operation, call Delta after.
+type WireProbe struct {
+	rounds, bytes uint64
+}
+
+// WireProbe snapshots the runtime's current wire tally.
+func (r *Runtime) WireProbe() WireProbe {
+	rounds, bytes := r.WireTally()
+	return WireProbe{rounds: rounds, bytes: bytes}
+}
+
+// Delta returns the wire rounds and bytes the runtime moved since the probe
+// was taken.
+func (p WireProbe) Delta(r *Runtime) (rounds, bytes uint64) {
+	nr, nb := r.WireTally()
+	return nr - p.rounds, nb - p.bytes
 }

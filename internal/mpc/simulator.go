@@ -24,6 +24,26 @@ type PublicParams struct {
 	Steps int
 }
 
+// simWire tracks the cumulative wire tally of the simulated party. Every
+// runtime exchange (one word out, one word in) costs each party ExchangeRounds
+// and ExchangeBytes; the simulator advances the tally on the protocol's public
+// exchange schedule — including the silent in-protocol recoveries that emit no
+// events — and stamps each emitted event with the running total, so the
+// Theorem-7/8 structural comparison also pins the wire shape of the real
+// execution.
+type simWire struct{ rounds, bytes uint64 }
+
+func (w *simWire) exchange() {
+	w.rounds += ExchangeRounds
+	w.bytes += ExchangeBytes
+}
+
+func (w *simWire) stamp(ev Event) Event {
+	ev.WireRounds = w.rounds
+	ev.WireBytes = w.bytes
+	return ev
+}
+
 // SimulateTimer is the simulator S of Table 1 for the sDPTimer deployment:
 // given only the public parameters and the outputs of the DP mechanism
 // M_timer — the noisy fetch sizes {(t, v_t)} — it emits a transcript whose
@@ -33,36 +53,45 @@ type PublicParams struct {
 // Theorem 7's claim is that this transcript is computationally
 // indistinguishable from a real server's view; the leakage regression test
 // in internal/core checks the structural half exactly (same event kinds,
-// times, sizes and labels) and the distributional half statistically
-// (uniform share values on both sides).
+// times, sizes, labels and wire tallies) and the distributional half
+// statistically (uniform share values on both sides).
 func SimulateTimer(pp PublicParams, fetches map[int]int, party PartyID, seed int64) *Transcript {
 	rng := dp.NewCountingRNG(rand.New(rand.NewSource(seed)))
 	tr := &Transcript{Party: party}
+	var w simWire
 
 	reshareCounter := func(t int) {
-		tr.Append(Event{Kind: EvRandomContributed, Time: t, Share: rng.Uint32(), Label: "reshare:c"})
-		tr.Append(Event{Kind: EvShareReceived, Time: t, Share: rng.Uint32(), Label: "c"})
+		w.exchange()
+		tr.Append(w.stamp(Event{Kind: EvRandomContributed, Time: t, Share: rng.Uint32(), Label: "reshare:c"}))
+		tr.Append(w.stamp(Event{Kind: EvShareReceived, Time: t, Share: rng.Uint32(), Label: "c"}))
 	}
 
-	// Framework construction: the counter is shared once before time starts.
+	// Framework construction: the counter is shared once before time starts
+	// (one exchange; no prior recovery — there is nothing to recover yet).
 	reshareCounter(0)
 
 	for t := 0; t < pp.Steps; t++ {
-		// Transform runs on the owners' public schedule: counter re-share
-		// followed by the exhaustively padded batch entering the cache.
+		// Transform runs on the owners' public schedule: a silent counter
+		// recovery, the counter re-share, then the exhaustively padded batch
+		// entering the cache.
 		if (t+1)%pp.UploadEvery == 0 {
+			w.exchange() // Alg. 1:4 counter recovery — no event, one exchange
 			reshareCounter(t)
-			tr.Append(Event{Kind: EvBatchObserved, Time: t, Size: pp.BatchSize, Label: "transform"})
+			tr.Append(w.stamp(Event{Kind: EvBatchObserved, Time: t, Size: pp.BatchSize, Label: "transform"}))
 		}
-		// sDPTimer fires at multiples of T: joint noise contributions, the
-		// fixed-size spill, the DP-sized fetch, and the counter reset.
+		// sDPTimer fires at multiples of T: a silent counter recovery, joint
+		// noise contributions, the fixed-size spill, the DP-sized fetch, and
+		// the counter reset.
 		if t > 0 && pp.T > 0 && t%pp.T == 0 {
-			tr.Append(Event{Kind: EvRandomContributed, Time: t, Share: rng.Uint32(), Label: "noise:mag"})
-			tr.Append(Event{Kind: EvRandomContributed, Time: t, Share: rng.Uint32(), Label: "noise:sign"})
+			w.exchange() // Alg. 2:3 counter recovery — no event, one exchange
+			w.exchange()
+			tr.Append(w.stamp(Event{Kind: EvRandomContributed, Time: t, Share: rng.Uint32(), Label: "noise:mag"}))
+			w.exchange()
+			tr.Append(w.stamp(Event{Kind: EvRandomContributed, Time: t, Share: rng.Uint32(), Label: "noise:sign"}))
 			if pp.Spill > 0 {
-				tr.Append(Event{Kind: EvFlushObserved, Time: t, Size: pp.Spill, Label: "spill"})
+				tr.Append(w.stamp(Event{Kind: EvFlushObserved, Time: t, Size: pp.Spill, Label: "spill"}))
 			}
-			tr.Append(Event{Kind: EvFetchObserved, Time: t, Size: fetches[t], Label: "shrink"})
+			tr.Append(w.stamp(Event{Kind: EvFetchObserved, Time: t, Size: fetches[t], Label: "shrink"}))
 			reshareCounter(t)
 		}
 	}
@@ -86,16 +115,19 @@ type ANTOutput struct {
 func SimulateANT(pp PublicParams, updates []ANTOutput, party PartyID, seed int64) *Transcript {
 	rng := dp.NewCountingRNG(rand.New(rand.NewSource(seed)))
 	tr := &Transcript{Party: party}
+	var w simWire
 
+	// random models one joint random word: one exchange, then the event.
 	random := func(t int, label string) {
-		tr.Append(Event{Kind: EvRandomContributed, Time: t, Share: rng.Uint32(), Label: label})
+		w.exchange()
+		tr.Append(w.stamp(Event{Kind: EvRandomContributed, Time: t, Share: rng.Uint32(), Label: label}))
 	}
-	share := func(t int, label string) {
-		tr.Append(Event{Kind: EvShareReceived, Time: t, Share: rng.Uint32(), Label: label})
-	}
+	// reshare models one in-protocol re-share: one exchange covering both the
+	// contribution and the received share.
 	reshare := func(t int, key string) {
-		random(t, "reshare:"+key)
-		share(t, key)
+		w.exchange()
+		tr.Append(w.stamp(Event{Kind: EvRandomContributed, Time: t, Share: rng.Uint32(), Label: "reshare:" + key}))
+		tr.Append(w.stamp(Event{Kind: EvShareReceived, Time: t, Share: rng.Uint32(), Label: key}))
 	}
 	noise := func(t int) {
 		random(t, "noise:mag")
@@ -111,17 +143,21 @@ func SimulateANT(pp PublicParams, updates []ANTOutput, party PartyID, seed int64
 	next := 0
 	for t := 0; t < pp.Steps; t++ {
 		if (t+1)%pp.UploadEvery == 0 {
+			w.exchange() // Alg. 1:4 counter recovery — no event, one exchange
 			reshare(t, "c")
-			tr.Append(Event{Kind: EvBatchObserved, Time: t, Size: pp.BatchSize, Label: "transform"})
+			tr.Append(w.stamp(Event{Kind: EvBatchObserved, Time: t, Size: pp.BatchSize, Label: "transform"}))
 		}
-		// The SVT condition check draws joint noise every step.
+		// The SVT condition check recovers the counter and the noisy threshold
+		// (two silent exchanges) and draws joint noise every step.
+		w.exchange()
+		w.exchange()
 		noise(t)
 		if next < len(updates) && updates[next].Time == t {
 			noise(t) // the release noise
 			if pp.Spill > 0 {
-				tr.Append(Event{Kind: EvFlushObserved, Time: t, Size: pp.Spill, Label: "spill"})
+				tr.Append(w.stamp(Event{Kind: EvFlushObserved, Time: t, Size: pp.Spill, Label: "spill"}))
 			}
-			tr.Append(Event{Kind: EvFetchObserved, Time: t, Size: updates[next].Size, Label: "shrink"})
+			tr.Append(w.stamp(Event{Kind: EvFetchObserved, Time: t, Size: updates[next].Size, Label: "shrink"}))
 			noise(t) // the refreshed threshold's noise
 			reshare(t, "theta")
 			reshare(t, "c")
@@ -133,7 +169,10 @@ func SimulateANT(pp PublicParams, updates []ANTOutput, party PartyID, seed int64
 
 // StructurallyEqual compares two transcripts on everything except the share
 // values (which are uniform in both the real execution and the simulation):
-// event kinds, logical times, public sizes and labels must agree exactly.
+// event kinds, logical times, public sizes, labels and cumulative wire
+// tallies must agree exactly. Including the tallies makes the Theorem-7/8
+// regression also a pin on the protocol's round and byte schedule — a
+// protocol change that moves frames without moving events still fails.
 func StructurallyEqual(a, b *Transcript) (bool, int) {
 	if len(a.Events) != len(b.Events) {
 		n := len(a.Events)
@@ -144,7 +183,8 @@ func StructurallyEqual(a, b *Transcript) (bool, int) {
 	}
 	for i := range a.Events {
 		x, y := a.Events[i], b.Events[i]
-		if x.Kind != y.Kind || x.Time != y.Time || x.Size != y.Size || x.Label != y.Label {
+		if x.Kind != y.Kind || x.Time != y.Time || x.Size != y.Size || x.Label != y.Label ||
+			x.WireRounds != y.WireRounds || x.WireBytes != y.WireBytes {
 			return false, i
 		}
 	}

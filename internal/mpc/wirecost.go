@@ -1,0 +1,47 @@
+package mpc
+
+import "incshrink/internal/wire"
+
+// Wire-shape constants of the online runtime protocol. Every joint primitive
+// (joint random word, in-protocol re-share, in-protocol recovery) is one
+// symmetric word exchange: each party ships one FrameWord frame (4-byte
+// payload) and receives the peer's, costing each party one round and
+// 2*WordFrameBytes logical frame bytes. Both the loopback and the TCP
+// transports count exactly these logical bytes, which is what makes the
+// tallies — and the transcripts that embed them — transport-independent.
+const (
+	// WordFrameBytes is the framed size of one runtime share word.
+	WordFrameBytes = wire.FrameOverhead + 4
+	// ExchangeBytes is the per-party byte cost of one word exchange.
+	ExchangeBytes = 2 * WordFrameBytes
+	// ExchangeRounds is the per-party round cost of one word exchange.
+	ExchangeRounds = 1
+)
+
+// GMW online AND-gate wire shape (internal/gmw Eval): the two mask openings
+// d = x^a, e = y^b of one AND gate are packed into a single 1-byte frame per
+// party per gate, exchanged symmetrically.
+const (
+	// ANDOpenBytes is the per-party byte cost of one online AND opening.
+	ANDOpenBytes = 2 * (wire.FrameOverhead + 1)
+	// ANDOpenRounds is the per-party round cost of one online AND opening.
+	ANDOpenRounds = 1
+)
+
+// PredictedWire is the modeled wire cost of an operation: what the CostModel
+// expects the transport counters to report. The obs layer compares these
+// against measured conn tallies per op family.
+type PredictedWire struct {
+	Rounds uint64
+	Bytes  uint64
+}
+
+// PredictExchanges prices n runtime word exchanges.
+func PredictExchanges(n int) PredictedWire {
+	return PredictedWire{Rounds: uint64(n) * ExchangeRounds, Bytes: uint64(n) * ExchangeBytes}
+}
+
+// PredictANDGates prices n online GMW AND-gate openings.
+func PredictANDGates(n int) PredictedWire {
+	return PredictedWire{Rounds: uint64(n) * ANDOpenRounds, Bytes: uint64(n) * ANDOpenBytes}
+}

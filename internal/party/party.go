@@ -1,0 +1,373 @@
+// Package party runs one server's half of a deterministic two-party
+// IncShrink protocol session over a transport. It is the process-level
+// counterpart of the in-process mpc.Runtime: cmd/incshrink-party wraps one
+// Session per OS process over TCP+TLS, the tests wrap two over an in-process
+// loopback, and the contract — checked by the equivalence tests and the wire
+// smoke — is that every observable output (opened values, transcripts,
+// snapshots, wire tallies) is byte-identical across transports.
+//
+// The session script exercises every wire primitive the runtime and the GMW
+// layer own: per-step counter re-shares, in-protocol recoveries, joint
+// Laplace noise and transcript observations, followed by a GMW segment
+// (offline triple dealing plus online AND openings) evaluating the paper's
+// counter-update and threshold circuits. The schedule is a pure function of
+// the configuration, so the wire cost is predictable in closed form
+// (Predict) and the smoke harness can hold measured conn counters to it.
+package party
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sync"
+
+	"incshrink/internal/gmw"
+	"incshrink/internal/mpc"
+	"incshrink/internal/snapshot"
+	"incshrink/internal/wire"
+)
+
+// Config parameterizes one session. Both parties must run identical
+// configurations apart from Role.
+type Config struct {
+	// Role is the party index (0 or 1).
+	Role int
+	// Seed is the deployment seed shared by both parties; per-party streams
+	// derive from it exactly as mpc.NewRuntime derives them.
+	Seed int64
+	// Steps is the number of runtime protocol steps.
+	Steps int
+	// SnapshotAt, when >= 0, captures a snapshot of the party runtime after
+	// the step with that index completes; the bytes land in Report.Snapshot.
+	SnapshotAt int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Role != 0 && c.Role != 1 {
+		return fmt.Errorf("party: role must be 0 or 1, got %d", c.Role)
+	}
+	if c.Steps < 1 {
+		return fmt.Errorf("party: steps must be positive, got %d", c.Steps)
+	}
+	if c.SnapshotAt >= c.Steps {
+		return fmt.Errorf("party: snapshot step %d beyond horizon %d", c.SnapshotAt, c.Steps)
+	}
+	return nil
+}
+
+// Triple budget of the GMW segment: one CounterUpdate (32), one
+// ThresholdCheck (96), one CompareExchange (160).
+const gmwTriples = 32 + 96 + 160
+
+// gmwReveals is the number of OpenWord calls in the GMW segment.
+const gmwReveals = 4
+
+// exchangesPerStep is the runtime word exchanges one step performs: counter
+// re-share, counter recovery, and the two joint noise words.
+const exchangesPerStep = 4
+
+// Report is the deterministic outcome of one session, the unit the
+// equivalence tests and the wire smoke compare across transports.
+type Report struct {
+	Role  int `json:"role"`
+	Steps int `json:"steps"`
+	// Opened collects every value revealed to the protocol layer, in order:
+	// recovered counters, Laplace noise bit patterns, GMW outputs.
+	Opened []uint32 `json:"opened"`
+	// TranscriptSHA digests the party's transcript events, including their
+	// wire stamps.
+	TranscriptSHA string `json:"transcript_sha"`
+	// SnapshotSHA digests the final EncodePartyRuntime bytes.
+	SnapshotSHA string `json:"snapshot_sha"`
+	// WireRounds / WireBytes are the connection counters at session end.
+	WireRounds uint64 `json:"wire_rounds"`
+	WireBytes  uint64 `json:"wire_bytes"`
+	// GMWANDGates is the online AND-gate count of the GMW segment.
+	GMWANDGates int `json:"gmw_and_gates"`
+	// PredictedRounds / PredictedBytes are the closed-form wire predictions
+	// for the configured schedule (see Predict).
+	PredictedRounds uint64 `json:"predicted_rounds"`
+	PredictedBytes  uint64 `json:"predicted_bytes"`
+	// Snapshot holds the mid-run snapshot when Config.SnapshotAt requested
+	// one (not serialized into reports).
+	Snapshot []byte `json:"-"`
+}
+
+// Predict returns the modeled per-party wire cost of a session: the
+// runtime's word exchanges, the GMW online openings and output reveals, and
+// the one offline triple-block frame (which rides ahead of the first AND's
+// round, so it adds bytes but no round).
+func Predict(cfg Config) (rounds, bytes uint64) {
+	ex := mpc.PredictExchanges(exchangesPerStep * cfg.Steps)
+	and := mpc.PredictANDGates(gmwTriples) // every dealt triple feeds one AND gate
+	reveal := mpc.PredictExchanges(gmwReveals)
+	rounds = ex.Rounds + and.Rounds + reveal.Rounds
+	bytes = ex.Bytes + and.Bytes + reveal.Bytes + uint64(wire.FrameOverhead+gmwTriples)
+	return rounds, bytes
+}
+
+// counterValue is the deterministic counter plaintext re-shared at step t.
+func counterValue(t int) uint32 { return uint32(t) * 2654435761 }
+
+// Run executes a full session over conn and reports its observables.
+func Run(cfg Config, conn wire.Conn) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pr := mpc.NewPartyRuntime(mpc.PartyID(cfg.Role), cfg.Seed, mpc.DefaultCostModel(), conn)
+	s := &session{cfg: cfg, pr: pr, conn: conn}
+	return s.run(0)
+}
+
+// Resume restores a snapshot taken by a previous Run (Config.SnapshotAt)
+// into a fresh party runtime over a fresh connection and completes the
+// session. opened is the prefix of values the crashed run had already
+// revealed to the protocol layer (three per completed step) — they were
+// delivered before the crash, so the application persists them alongside the
+// snapshot. The final report must be byte-identical to an uninterrupted run —
+// the crash/rejoin contract.
+func Resume(cfg Config, snap []byte, opened []uint32, conn wire.Conn) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pr := mpc.NewPartyRuntime(mpc.PartyID(cfg.Role), cfg.Seed, mpc.DefaultCostModel(), conn)
+	d := snapshot.NewDecoder(bytes.NewReader(snap))
+	if err := snapshot.DecodePartyRuntimeInto(d, pr); err != nil {
+		return nil, fmt.Errorf("party: restoring snapshot: %w", err)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("party: restoring snapshot: %w", err)
+	}
+	s := &session{cfg: cfg, pr: pr, conn: conn}
+	s.baseRounds, s.baseBytes = pr.Party().WireTally()
+	s.opened = append(s.opened, opened...)
+	return s.run(pr.Now() + 1)
+}
+
+type session struct {
+	cfg  Config
+	pr   *mpc.PartyRuntime
+	conn wire.Conn
+	// baseRounds/baseBytes are the party's wire tally when the session
+	// (re)started: zero on a fresh run, the pre-crash total on a resume. The
+	// report adds them to the connection counters so a rejoined session
+	// reports the same cumulative wire cost as an uninterrupted one.
+	baseRounds uint64
+	baseBytes  uint64
+	opened     []uint32
+	snap       []byte
+}
+
+func (s *session) open(v uint32) { s.opened = append(s.opened, v) }
+
+func (s *session) encodeSnapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	e := snapshot.NewEncoder(&buf)
+	snapshot.EncodePartyRuntime(e, s.pr)
+	if err := e.Finish(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (s *session) run(from int) (*Report, error) {
+	for t := from; t < s.cfg.Steps; t++ {
+		if err := s.step(t); err != nil {
+			return nil, err
+		}
+		if t == s.cfg.SnapshotAt {
+			b, err := s.encodeSnapshot()
+			if err != nil {
+				return nil, fmt.Errorf("party: snapshotting at step %d: %w", t, err)
+			}
+			s.snap = b
+		}
+	}
+	ev, err := s.gmwSegment()
+	if err != nil {
+		return nil, err
+	}
+	return s.report(ev)
+}
+
+// step is one runtime protocol step: re-share the counter, recover it back
+// (checking the reconstruction), draw joint Laplace noise, and record the
+// public observations of a padded batch plus the periodic DP fetch/flush.
+func (s *session) step(t int) error {
+	s.pr.SetTime(t)
+	if err := s.pr.ShareToServers("c", counterValue(t)); err != nil {
+		return err
+	}
+	c, err := s.pr.RecoverInside("c")
+	if err != nil {
+		return err
+	}
+	if c != counterValue(t) {
+		return fmt.Errorf("party: role %d step %d: recovered counter %d, want %d", s.cfg.Role, t, c, counterValue(t))
+	}
+	s.open(c)
+	noise, err := s.pr.JointLaplace(2.5, mpc.OpShrink)
+	if err != nil {
+		return err
+	}
+	bits := math.Float64bits(noise)
+	s.open(uint32(bits))
+	s.open(uint32(bits >> 32))
+
+	s.pr.ObserveBatch(8, "transform")
+	if t%3 == 2 {
+		s.pr.ObserveFetch((t*7)%13, "shrink")
+	}
+	if t%5 == 4 {
+		s.pr.ObserveFlush(4, "flush")
+	}
+	return nil
+}
+
+// gmwSegment runs the on-the-wire GMW circuits over the session connection:
+// role 0 deals the triples (offline phase), then both parties evaluate the
+// counter-update, threshold-check and compare-exchange circuits over shares
+// masked by fixed words, opening the outputs.
+func (s *session) gmwSegment() (*gmw.Eval, error) {
+	ev := gmw.NewEval(s.cfg.Role, s.conn, 0)
+	if s.cfg.Role == 0 {
+		if err := ev.DealTriples(gmw.NewDealer(s.cfg.Seed*7+5), gmwTriples); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := ev.RecvTriples(); err != nil {
+			return nil, err
+		}
+	}
+	last := counterValue(s.cfg.Steps - 1)
+	wc := gmw.ShareOfWord(s.cfg.Role, last, 0xC0FFEE01)
+	wd := gmw.ShareOfWord(s.cfg.Role, uint32(s.cfg.Steps), 0x5EED5EED)
+
+	sum, err := ev.OpenWord(ev.CounterUpdate(wc, wd))
+	if err != nil {
+		return nil, err
+	}
+	s.open(sum)
+	var cmp gmw.WordShare
+	cmp[0] = ev.ThresholdCheck(wc, wd)
+	ge, err := ev.OpenWord(cmp)
+	if err != nil {
+		return nil, err
+	}
+	s.open(ge)
+	lo, hi := ev.CompareExchange(wc, wd)
+	lov, err := ev.OpenWord(lo)
+	if err != nil {
+		return nil, err
+	}
+	s.open(lov)
+	hiv, err := ev.OpenWord(hi)
+	if err != nil {
+		return nil, err
+	}
+	s.open(hiv)
+	return ev, nil
+}
+
+func (s *session) report(ev *gmw.Eval) (*Report, error) {
+	th := sha256.New()
+	var b8 [8]byte
+	for _, e := range s.pr.Party().Transcript.Events {
+		binary.LittleEndian.PutUint64(b8[:], uint64(e.Kind))
+		th.Write(b8[:])
+		binary.LittleEndian.PutUint64(b8[:], uint64(e.Time))
+		th.Write(b8[:])
+		binary.LittleEndian.PutUint64(b8[:], uint64(e.Size))
+		th.Write(b8[:])
+		binary.LittleEndian.PutUint64(b8[:], uint64(e.Share))
+		th.Write(b8[:])
+		th.Write([]byte(e.Label))
+		binary.LittleEndian.PutUint64(b8[:], e.WireRounds)
+		th.Write(b8[:])
+		binary.LittleEndian.PutUint64(b8[:], e.WireBytes)
+		th.Write(b8[:])
+	}
+	finalSnap, err := s.encodeSnapshot()
+	if err != nil {
+		return nil, fmt.Errorf("party: final snapshot: %w", err)
+	}
+	snapSum := sha256.Sum256(finalSnap)
+
+	st := s.conn.Stats()
+	predR, predB := Predict(s.cfg)
+	return &Report{
+		Role:            s.cfg.Role,
+		Steps:           s.cfg.Steps,
+		Opened:          s.opened,
+		TranscriptSHA:   hex.EncodeToString(th.Sum(nil)),
+		SnapshotSHA:     hex.EncodeToString(snapSum[:]),
+		WireRounds:      s.baseRounds + st.Rounds,
+		WireBytes:       s.baseBytes + st.BytesSent + st.BytesRecv,
+		GMWANDGates:     ev.ANDGates,
+		PredictedRounds: predR,
+		PredictedBytes:  predB,
+		Snapshot:        s.snap,
+	}, nil
+}
+
+// RunLoopbackPair executes both parties of a session over an in-process
+// loopback pair, one goroutine per party, and returns both reports. This is
+// the reference execution the TCP deployment must match byte for byte.
+func RunLoopbackPair(cfg Config) (r0, r1 *Report, err error) {
+	c0, c1 := wire.Loopback(256)
+	defer c0.Close()
+	defer c1.Close()
+
+	cfg0, cfg1 := cfg, cfg
+	cfg0.Role, cfg1.Role = 0, 1
+
+	var wg sync.WaitGroup
+	var err1 error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r1, err1 = Run(cfg1, c1)
+	}()
+	r0, err = Run(cfg0, c0)
+	wg.Wait()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err1 != nil {
+		return nil, nil, err1
+	}
+	return r0, r1, nil
+}
+
+// Equivalent reports whether two reports from the same role are
+// byte-identical on every observable, and if not, which field diverged.
+func Equivalent(a, b *Report) (bool, string) {
+	switch {
+	case a.Role != b.Role:
+		return false, "role"
+	case a.Steps != b.Steps:
+		return false, "steps"
+	case len(a.Opened) != len(b.Opened):
+		return false, "opened length"
+	case a.TranscriptSHA != b.TranscriptSHA:
+		return false, "transcript digest"
+	case a.SnapshotSHA != b.SnapshotSHA:
+		return false, "snapshot digest"
+	case a.WireRounds != b.WireRounds:
+		return false, "wire rounds"
+	case a.WireBytes != b.WireBytes:
+		return false, "wire bytes"
+	case a.GMWANDGates != b.GMWANDGates:
+		return false, "gmw and gates"
+	}
+	for i := range a.Opened {
+		if a.Opened[i] != b.Opened[i] {
+			return false, fmt.Sprintf("opened[%d]", i)
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,196 @@
+package party
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"incshrink/internal/wire"
+)
+
+func testConfig() Config {
+	return Config{Seed: 1234, Steps: 12, SnapshotAt: 5}
+}
+
+// runTCPPair executes both roles of a session over a real localhost TCP
+// connection, joining both goroutines before returning.
+func runTCPPair(t *testing.T, cfg Config) (r0, r1 *Report) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	cfg0, cfg1 := cfg, cfg
+	cfg0.Role, cfg1.Role = 0, 1
+
+	var wg sync.WaitGroup
+	var err0, err1 error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c, err := ln.Accept()
+		if err != nil {
+			err0 = err
+			return
+		}
+		conn := wire.NewNetConn(c, 0)
+		defer conn.Close()
+		r0, err0 = Run(cfg0, conn)
+	}()
+	go func() {
+		defer wg.Done()
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			err1 = err
+			return
+		}
+		conn := wire.NewNetConn(c, 0)
+		defer conn.Close()
+		r1, err1 = Run(cfg1, conn)
+	}()
+	wg.Wait()
+	if err0 != nil || err1 != nil {
+		t.Fatalf("tcp session: role0=%v role1=%v", err0, err1)
+	}
+	return r0, r1
+}
+
+func TestLoopbackSessionDeterministic(t *testing.T) {
+	a0, a1, err := RunLoopbackPair(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0, b1, err := RunLoopbackPair(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, field := Equivalent(a0, b0); !ok {
+		t.Errorf("role 0 reruns diverge on %s", field)
+	}
+	if ok, field := Equivalent(a1, b1); !ok {
+		t.Errorf("role 1 reruns diverge on %s", field)
+	}
+	// The protocol is symmetric on the wire and every opening is public:
+	// both parties agree on opened values and tallies, while their private
+	// transcripts (share halves) differ.
+	if a0.WireRounds != a1.WireRounds || a0.WireBytes != a1.WireBytes {
+		t.Errorf("wire tallies asymmetric: role0 %d/%d, role1 %d/%d",
+			a0.WireRounds, a0.WireBytes, a1.WireRounds, a1.WireBytes)
+	}
+	if len(a0.Opened) != len(a1.Opened) {
+		t.Fatalf("opened counts differ: %d vs %d", len(a0.Opened), len(a1.Opened))
+	}
+	for i := range a0.Opened {
+		if a0.Opened[i] != a1.Opened[i] {
+			t.Fatalf("opened[%d] differs between parties: %d vs %d", i, a0.Opened[i], a1.Opened[i])
+		}
+	}
+	if a0.TranscriptSHA == a1.TranscriptSHA {
+		t.Error("party transcripts identical across roles — shares are not split")
+	}
+}
+
+// TestMeasuredWireMatchesPrediction pins the measured conn counters to the
+// closed-form model exactly: the schedule is deterministic, so over loopback
+// there is no slack at all.
+func TestMeasuredWireMatchesPrediction(t *testing.T) {
+	r0, r1, err := RunLoopbackPair(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Report{r0, r1} {
+		if r.WireRounds != r.PredictedRounds {
+			t.Errorf("role %d rounds: measured %d, predicted %d", r.Role, r.WireRounds, r.PredictedRounds)
+		}
+		if r.WireBytes != r.PredictedBytes {
+			t.Errorf("role %d bytes: measured %d, predicted %d", r.Role, r.WireBytes, r.PredictedBytes)
+		}
+	}
+	if r0.GMWANDGates != gmwTriples {
+		t.Errorf("GMW segment used %d AND gates, budget %d", r0.GMWANDGates, gmwTriples)
+	}
+}
+
+// TestLoopbackVsTCPEquivalence is the transport-independence contract: the
+// same configuration over a real TCP socket produces byte-identical opened
+// values, transcripts, snapshots and wire tallies as the in-process
+// loopback pair.
+func TestLoopbackVsTCPEquivalence(t *testing.T) {
+	l0, l1, err := RunLoopbackPair(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0, t1 := runTCPPair(t, testConfig())
+	if ok, field := Equivalent(l0, t0); !ok {
+		t.Errorf("role 0: loopback and TCP diverge on %s", field)
+	}
+	if ok, field := Equivalent(l1, t1); !ok {
+		t.Errorf("role 1: loopback and TCP diverge on %s", field)
+	}
+}
+
+// TestSnapshotRejoinByteIdentical is the crash/rejoin contract: both parties
+// snapshot mid-run, are rebuilt from those bytes over a fresh connection,
+// and the completed session is byte-identical to the uninterrupted one —
+// including the transcript wire stamps, which survive the connection
+// counters resetting.
+func TestSnapshotRejoinByteIdentical(t *testing.T) {
+	cfg := testConfig()
+	f0, f1, err := RunLoopbackPair(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f0.Snapshot) == 0 || len(f1.Snapshot) == 0 {
+		t.Fatal("mid-run snapshots missing")
+	}
+
+	// Values opened before the crash point: three per completed step.
+	prefix := 3 * (cfg.SnapshotAt + 1)
+
+	c0, c1 := wire.Loopback(256)
+	defer c0.Close()
+	defer c1.Close()
+	cfg0, cfg1 := cfg, cfg
+	cfg0.Role, cfg1.Role = 0, 1
+
+	var wg sync.WaitGroup
+	var r1 *Report
+	var err1 error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r1, err1 = Resume(cfg1, f1.Snapshot, f1.Opened[:prefix], c1)
+	}()
+	r0, err0 := Resume(cfg0, f0.Snapshot, f0.Opened[:prefix], c0)
+	wg.Wait()
+	if err0 != nil || err1 != nil {
+		t.Fatalf("resume: role0=%v role1=%v", err0, err1)
+	}
+	if ok, field := Equivalent(f0, r0); !ok {
+		t.Errorf("role 0: rejoined session diverges on %s", field)
+	}
+	if ok, field := Equivalent(f1, r1); !ok {
+		t.Errorf("role 1: rejoined session diverges on %s", field)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{Role: 0, Steps: 1, SnapshotAt: -1}, true},
+		{Config{Role: 1, Steps: 4, SnapshotAt: 3}, true}, // snapshot after last step: resume replays the GMW segment
+		{Config{Role: 2, Steps: 4}, false},
+		{Config{Role: 0, Steps: 0}, false},
+		{Config{Role: 0, Steps: 4, SnapshotAt: 4}, false},
+	}
+	for i, tc := range cases {
+		err := tc.cfg.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("case %d: Validate() = %v, want ok=%v", i, err, tc.ok)
+		}
+	}
+}

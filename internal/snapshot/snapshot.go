@@ -41,8 +41,10 @@ import (
 const (
 	// Magic leads every snapshot stream.
 	Magic = "INCSNAP\x01"
-	// Version is the current format version.
-	Version = 1
+	// Version is the current format version. v2 added the per-party wire
+	// tallies (transcript events and party state) and the standalone
+	// party-runtime section.
+	Version = 2
 )
 
 // Typed decode errors, distinguishable with errors.Is.

@@ -183,7 +183,8 @@ func DecodeInt64IntMap(d *Decoder) map[int64]int {
 	return m
 }
 
-// encodeTranscriptEvents writes one party's transcript.
+// encodeTranscriptEvents writes one party's transcript, including the
+// cumulative wire tally each event was stamped with (v2).
 func encodeTranscriptEvents(e *Encoder, events []mpc.Event) {
 	e.U32(uint32(len(events)))
 	for _, ev := range events {
@@ -192,6 +193,8 @@ func encodeTranscriptEvents(e *Encoder, events []mpc.Event) {
 		e.Int(ev.Size)
 		e.U32(ev.Share)
 		e.String(ev.Label)
+		e.U64(ev.WireRounds)
+		e.U64(ev.WireBytes)
 	}
 }
 
@@ -203,11 +206,13 @@ func decodeTranscriptEvents(d *Decoder) []mpc.Event {
 	out := make([]mpc.Event, 0, min(n, allocChunk))
 	for i := 0; i < n; i++ {
 		ev := mpc.Event{
-			Kind:  mpc.EventKind(d.U8()),
-			Time:  d.Int(),
-			Size:  d.Int(),
-			Share: d.U32(),
-			Label: d.String(),
+			Kind:       mpc.EventKind(d.U8()),
+			Time:       d.Int(),
+			Size:       d.Int(),
+			Share:      d.U32(),
+			Label:      d.String(),
+			WireRounds: d.U64(),
+			WireBytes:  d.U64(),
 		}
 		if d.Err() != nil {
 			return nil
@@ -235,6 +240,8 @@ func encodePartyState(e *Encoder, st mpc.PartyState) {
 		e.U32(st.Store[k])
 	}
 	encodeTranscriptEvents(e, st.Events)
+	e.U64(st.WireRounds)
+	e.U64(st.WireBytes)
 }
 
 func decodePartyState(d *Decoder) mpc.PartyState {
@@ -257,12 +264,52 @@ func decodePartyState(d *Decoder) mpc.PartyState {
 		return st
 	}
 	st.Events = decodeTranscriptEvents(d)
+	st.WireRounds = d.U64()
+	st.WireBytes = d.U64()
+	return st
+}
+
+func encodeMeterState(e *Encoder, st mpc.MeterState) {
+	e.U32(uint32(len(st.Gates)))
+	for _, g := range st.Gates {
+		e.F64(g)
+	}
+	e.U32(uint32(len(st.Calls)))
+	for _, c := range st.Calls {
+		e.Int(c)
+	}
+}
+
+func decodeMeterState(d *Decoder) mpc.MeterState {
+	var st mpc.MeterState
+	ng := d.Len()
+	if d.Err() != nil {
+		return st
+	}
+	st.Gates = make([]float64, 0, min(ng, allocChunk))
+	for i := 0; i < ng; i++ {
+		st.Gates = append(st.Gates, d.F64())
+		if d.Err() != nil {
+			return st
+		}
+	}
+	nc := d.Len()
+	if d.Err() != nil {
+		return st
+	}
+	st.Calls = make([]int, 0, min(nc, allocChunk))
+	for i := 0; i < nc; i++ {
+		st.Calls = append(st.Calls, d.Int())
+		if d.Err() != nil {
+			return st
+		}
+	}
 	return st
 }
 
 // EncodeRuntime writes the full mutable state of an MPC runtime: both
-// parties (randomness positions, share stores, transcripts), the
-// protocol-internal randomness position, the cost meter and the logical
+// parties (randomness positions, share stores, transcripts, wire tallies),
+// the protocol-internal randomness position, the cost meter and the logical
 // clock.
 func EncodeRuntime(e *Encoder, rt *mpc.Runtime) {
 	st := rt.State()
@@ -272,14 +319,7 @@ func EncodeRuntime(e *Encoder, rt *mpc.Runtime) {
 		e.Fail("protocol draw position %d exceeds the resumable bound %d", st.ProtocolDraws, uint64(dp.MaxResumeDraws))
 	}
 	e.U64(st.ProtocolDraws)
-	e.U32(uint32(len(st.Meter.Gates)))
-	for _, g := range st.Meter.Gates {
-		e.F64(g)
-	}
-	e.U32(uint32(len(st.Meter.Calls)))
-	for _, c := range st.Meter.Calls {
-		e.Int(c)
-	}
+	encodeMeterState(e, st.Meter)
 	e.Int(st.Now)
 }
 
@@ -293,33 +333,41 @@ func DecodeRuntimeInto(d *Decoder, rt *mpc.Runtime) error {
 	st.S0 = decodePartyState(d)
 	st.S1 = decodePartyState(d)
 	st.ProtocolDraws = d.U64()
-	ng := d.Len()
-	if d.Err() != nil {
-		return d.Err()
-	}
-	st.Meter.Gates = make([]float64, 0, min(ng, allocChunk))
-	for i := 0; i < ng; i++ {
-		st.Meter.Gates = append(st.Meter.Gates, d.F64())
-		if d.Err() != nil {
-			return d.Err()
-		}
-	}
-	nc := d.Len()
-	if d.Err() != nil {
-		return d.Err()
-	}
-	st.Meter.Calls = make([]int, 0, min(nc, allocChunk))
-	for i := 0; i < nc; i++ {
-		st.Meter.Calls = append(st.Meter.Calls, d.Int())
-		if d.Err() != nil {
-			return d.Err()
-		}
-	}
+	st.Meter = decodeMeterState(d)
 	st.Now = d.Int()
 	if d.Err() != nil {
 		return d.Err()
 	}
 	if err := rt.SetState(st); err != nil {
+		d.Corrupt("%v", err)
+		return d.Err()
+	}
+	return nil
+}
+
+// EncodePartyRuntime writes the full mutable state of one standalone party
+// runtime (cmd/incshrink-party): the party — including the wire tally, so a
+// crash-rejoined party with a fresh connection keeps attributing transcript
+// events to the same positions in the wire conversation — its meter and the
+// logical clock.
+func EncodePartyRuntime(e *Encoder, pr *mpc.PartyRuntime) {
+	st := pr.State()
+	encodePartyState(e, st.Party)
+	encodeMeterState(e, st.Meter)
+	e.Int(st.Now)
+}
+
+// DecodePartyRuntimeInto reloads state encoded with EncodePartyRuntime into
+// a party runtime constructed with the same identity, seed and cost model.
+func DecodePartyRuntimeInto(d *Decoder, pr *mpc.PartyRuntime) error {
+	var st mpc.PartyRuntimeState
+	st.Party = decodePartyState(d)
+	st.Meter = decodeMeterState(d)
+	st.Now = d.Int()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if err := pr.SetState(st); err != nil {
 		d.Corrupt("%v", err)
 		return d.Err()
 	}

@@ -1,0 +1,187 @@
+package wire
+
+import (
+	"bufio"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// NetConn frames a stream transport (TCP, TLS, unix sockets — anything
+// net.Conn). Writes are buffered and flushed per frame, so every Send is one
+// self-contained network message and the round accounting matches the
+// loopback transport exactly.
+type NetConn struct {
+	counters
+	c    net.Conn
+	bw   *bufio.Writer
+	fr   *FrameReader
+	out  []byte
+	once sync.Once
+	cerr error
+}
+
+// NewNetConn wraps an established stream connection. max bounds accepted
+// payload lengths (0 means MaxFrame).
+func NewNetConn(c net.Conn, max uint32) *NetConn {
+	return &NetConn{
+		c:  c,
+		bw: bufio.NewWriter(c),
+		fr: NewFrameReader(bufio.NewReader(c), max),
+	}
+}
+
+// Send implements Conn.
+func (c *NetConn) Send(typ byte, payload []byte) error {
+	c.out = AppendFrame(c.out[:0], typ, payload)
+	if _, err := c.bw.Write(c.out); err != nil {
+		return fmt.Errorf("wire: send: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("wire: send: %w", err)
+	}
+	c.noteSend(len(payload))
+	return nil
+}
+
+// Recv implements Conn. The returned payload is valid until the next Recv.
+func (c *NetConn) Recv() (byte, []byte, error) {
+	typ, payload, err := c.fr.Read()
+	if err != nil {
+		return 0, nil, err
+	}
+	c.noteRecv(len(payload))
+	return typ, payload, nil
+}
+
+// Stats implements Conn.
+func (c *NetConn) Stats() Stats { return c.stats() }
+
+// Close implements Conn.
+func (c *NetConn) Close() error {
+	c.once.Do(func() { c.cerr = c.c.Close() })
+	return c.cerr
+}
+
+// certName is the SAN both the generated certificates and the dialer's
+// ServerName use; party identity is pinned by certificate bytes, not by
+// hostname, so one well-known name serves every deployment.
+const certName = "incshrink-party"
+
+// TLSFiles names the PEM material one party loads: its own certificate and
+// key, and the peer's certificate. Trust is pinned — the peer's self-signed
+// certificate is the only root either side accepts, in both directions
+// (mutual TLS). There is no CA hierarchy to misconfigure.
+type TLSFiles struct {
+	Cert, Key, PeerCert string
+}
+
+func (t TLSFiles) config(server bool) (*tls.Config, error) {
+	cert, err := tls.LoadX509KeyPair(t.Cert, t.Key)
+	if err != nil {
+		return nil, fmt.Errorf("wire: loading key pair: %w", err)
+	}
+	peerPEM, err := os.ReadFile(t.PeerCert)
+	if err != nil {
+		return nil, fmt.Errorf("wire: loading peer certificate: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(peerPEM) {
+		return nil, fmt.Errorf("wire: peer certificate %s holds no usable PEM certificate", t.PeerCert)
+	}
+	cfg := &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS13,
+	}
+	if server {
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+		cfg.ClientCAs = pool
+	} else {
+		cfg.RootCAs = pool
+		cfg.ServerName = certName
+	}
+	return cfg, nil
+}
+
+// ListenTLS opens a mutually authenticated listener: only the pinned peer
+// certificate can complete a handshake.
+func ListenTLS(addr string, files TLSFiles) (net.Listener, error) {
+	cfg, err := files.config(true)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := tls.Listen("tcp", addr, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	return ln, nil
+}
+
+// DialTLS connects to the peer's listener with mutual authentication. It
+// makes a single attempt; callers that must wait for the peer to come up
+// (cmd/incshrink-party) own the retry loop, keeping this package free of
+// wall-clock sleeps.
+func DialTLS(addr string, files TLSFiles) (net.Conn, error) {
+	cfg, err := files.config(false)
+	if err != nil {
+		return nil, err
+	}
+	c, err := tls.Dial("tcp", addr, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// GenerateCert writes a fresh self-signed ECDSA P-256 certificate and key
+// into dir as <name>.crt / <name>.key and returns their paths. The validity
+// window is a fixed wide range (2000–2100) so certificate generation — like
+// everything else outside cmd/ — never reads the wall clock; these are
+// pinned identities for lab and test deployments, not web PKI material.
+func GenerateCert(dir, name string) (certPath, keyPath string, err error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return "", "", fmt.Errorf("wire: generating key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: certName + "-" + name},
+		NotBefore:             time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:              time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC),
+		KeyUsage:              x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+		BasicConstraintsValid: true,
+		DNSNames:              []string{certName},
+		IPAddresses:           []net.IP{net.IPv4(127, 0, 0, 1), net.IPv6loopback},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return "", "", fmt.Errorf("wire: creating certificate: %w", err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return "", "", fmt.Errorf("wire: marshaling key: %w", err)
+	}
+	certPath = filepath.Join(dir, name+".crt")
+	keyPath = filepath.Join(dir, name+".key")
+	certPEM := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	keyPEM := pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER})
+	if err := os.WriteFile(certPath, certPEM, 0o644); err != nil {
+		return "", "", fmt.Errorf("wire: writing certificate: %w", err)
+	}
+	if err := os.WriteFile(keyPath, keyPEM, 0o600); err != nil {
+		return "", "", fmt.Errorf("wire: writing key: %w", err)
+	}
+	return certPath, keyPath, nil
+}

@@ -1,0 +1,297 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+)
+
+func TestAppendFrameLayout(t *testing.T) {
+	got := AppendFrame(nil, 0x42, []byte("abc"))
+	want := []byte{0x42, 3, 0, 0, 0, 'a', 'b', 'c'}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("frame bytes %x, want %x", got, want)
+	}
+	if len(got) != FrameOverhead+3 {
+		t.Fatalf("frame length %d, want overhead %d + 3", len(got), FrameOverhead)
+	}
+}
+
+func TestFrameReaderRoundTrip(t *testing.T) {
+	var stream []byte
+	payloads := [][]byte{[]byte{}, []byte("x"), bytes.Repeat([]byte{0xAB}, 300)}
+	for i, p := range payloads {
+		stream = AppendFrame(stream, byte(i+1), p)
+	}
+	fr := NewFrameReader(bytes.NewReader(stream), 0)
+	for i, p := range payloads {
+		typ, got, err := fr.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != byte(i+1) || !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: typ=%d payload=%x", i, typ, got)
+		}
+	}
+	if _, _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameReaderHostile(t *testing.T) {
+	full := AppendFrame(nil, 7, []byte("payload"))
+	// Every strict prefix that includes at least one byte is a truncation.
+	for cut := 1; cut < len(full); cut++ {
+		fr := NewFrameReader(bytes.NewReader(full[:cut]), 0)
+		if _, _, err := fr.Read(); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix %d: err=%v, want ErrTruncated", cut, err)
+		}
+	}
+	// A declared length beyond the bound fails before any payload read.
+	huge := []byte{1, 0xff, 0xff, 0xff, 0xff}
+	fr := NewFrameReader(bytes.NewReader(huge), 64)
+	if _, _, err := fr.Read(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: %v, want ErrFrameTooLarge", err)
+	}
+	// Empty stream is a clean EOF, not an error.
+	fr = NewFrameReader(bytes.NewReader(nil), 0)
+	if _, _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("empty stream: %v, want io.EOF", err)
+	}
+}
+
+// exerciseConnPair drives the same scripted exchange over any connected
+// pair and checks payloads and accounting; loopback and TCP must behave
+// identically under it.
+func exerciseConnPair(t *testing.T, a, b Conn) {
+	t.Helper()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			typ, p, err := b.Recv()
+			if err != nil {
+				t.Errorf("b recv %d: %v", i, err)
+				return
+			}
+			reply := append([]byte{typ}, p...)
+			if err := b.Send(typ+1, reply); err != nil {
+				t.Errorf("b send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	payloads := [][]byte{[]byte("hi"), bytes.Repeat([]byte{9}, 100), {}}
+	for i, p := range payloads {
+		if err := a.Send(byte(i), p); err != nil {
+			t.Fatalf("a send %d: %v", i, err)
+		}
+		typ, got, err := a.Recv()
+		if err != nil {
+			t.Fatalf("a recv %d: %v", i, err)
+		}
+		if typ != byte(i)+1 || len(got) != len(p)+1 || got[0] != byte(i) {
+			t.Fatalf("echo %d: typ=%d payload=%x", i, typ, got)
+		}
+	}
+	wg.Wait()
+
+	as, bs := a.Stats(), b.Stats()
+	if as.FramesSent != 3 || as.FramesRecv != 3 || bs.FramesSent != 3 || bs.FramesRecv != 3 {
+		t.Fatalf("frame counts a=%+v b=%+v", as, bs)
+	}
+	// a always receives after sending: 3 rounds. b receives first: 0 on the
+	// first recv, then one per completed reply cycle.
+	if as.Rounds != 3 {
+		t.Fatalf("a rounds = %d, want 3", as.Rounds)
+	}
+	if bs.Rounds != 2 {
+		t.Fatalf("b rounds = %d, want 2", bs.Rounds)
+	}
+	var sent uint64
+	for _, p := range payloads {
+		sent += FrameOverhead + uint64(len(p))
+	}
+	if as.BytesSent != sent || bs.BytesRecv != sent {
+		t.Fatalf("byte accounting: a sent %d, b recv %d, want %d", as.BytesSent, bs.BytesRecv, sent)
+	}
+	if as.BytesRecv != bs.BytesSent {
+		t.Fatalf("reply accounting: a recv %d, b sent %d", as.BytesRecv, bs.BytesSent)
+	}
+}
+
+func TestLoopbackPair(t *testing.T) {
+	a, b := Loopback(4)
+	defer a.Close()
+	defer b.Close()
+	exerciseConnPair(t, a, b)
+}
+
+func TestNetConnPairOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var b Conn
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		b = NewNetConn(c, 0)
+	}()
+	cc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewNetConn(cc, 0)
+	wg.Wait()
+	if b == nil {
+		t.Fatal("accept failed")
+	}
+	defer a.Close()
+	defer b.Close()
+	exerciseConnPair(t, a, b)
+}
+
+func TestLoopbackClose(t *testing.T) {
+	a, b := Loopback(1)
+	if err := a.Send(1, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	// In-flight frames drain even after close...
+	if _, p, err := b.Recv(); err != nil || len(p) != 4 {
+		t.Fatalf("drain after close: %v %x", err, p)
+	}
+	// ...then both ends report closed.
+	if _, _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("recv on closed pair: %v", err)
+	}
+	if err := b.Send(1, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send on closed pair: %v", err)
+	}
+}
+
+// TestLoopbackSteadyStateAllocs pins the loopback hot path allocation-free
+// for online-sized payloads: the engine's per-step wire traffic must not
+// move the data-plane allocation benchmarks.
+func TestLoopbackSteadyStateAllocs(t *testing.T) {
+	a, b := Loopback(4)
+	defer a.Close()
+	defer b.Close()
+	word := []byte{1, 2, 3, 4}
+	warm := func() {
+		if err := a.Send(1, word); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Send(1, word); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := a.Recv(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := b.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(100, warm); allocs > 0 {
+		t.Fatalf("loopback exchange allocates %.1f per round trip, want 0", allocs)
+	}
+}
+
+func TestTLSPairPinned(t *testing.T) {
+	dir := t.TempDir()
+	c0, k0, err := GenerateCert(dir, "party0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, k1, err := GenerateCert(dir, "party1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files0 := TLSFiles{Cert: c0, Key: k0, PeerCert: c1}
+	files1 := TLSFiles{Cert: c1, Key: k1, PeerCert: c0}
+
+	ln, err := ListenTLS("127.0.0.1:0", files0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var b Conn
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// The server-side TLS handshake is lazy (first read/write); drive it
+		// here, or the eager client handshake in DialTLS deadlocks waiting
+		// for the server flight.
+		if hs, ok := c.(interface{ Handshake() error }); ok {
+			if err := hs.Handshake(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		b = NewNetConn(c, 0)
+	}()
+	cc, err := DialTLS(ln.Addr().String(), files1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewNetConn(cc, 0)
+	wg.Wait()
+	if b == nil {
+		t.Fatal("accept failed")
+	}
+	defer a.Close()
+	defer b.Close()
+	exerciseConnPair(t, a, b)
+
+	// A third identity is rejected by the pinned trust in both directions.
+	c2, k2, err := GenerateCert(dir, "intruder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := ListenTLS("127.0.0.1:0", files0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := ln2.Accept()
+		if err != nil {
+			return // handshake failure surfaces on the first read
+		}
+		nc := NewNetConn(c, 0)
+		nc.Recv()
+		nc.Close()
+	}()
+	if cc, err := DialTLS(ln2.Addr().String(), TLSFiles{Cert: c2, Key: k2, PeerCert: c0}); err == nil {
+		// TLS handshakes complete lazily on first use; force it.
+		nc := NewNetConn(cc, 0)
+		if err := nc.Send(1, []byte("x")); err == nil {
+			if _, _, err := nc.Recv(); err == nil {
+				t.Fatal("intruder certificate completed a session with pinned trust")
+			}
+		}
+		nc.Close()
+	}
+	wg.Wait()
+}
